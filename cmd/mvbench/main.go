@@ -1,0 +1,93 @@
+// Command mvbench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the synthetic DBLP dataset and prints them as
+// text tables. See EXPERIMENTS.md for a recorded run and the paper-vs-
+// measured comparison.
+//
+// Usage:
+//
+//	mvbench                         # run everything with default sweeps
+//	mvbench -exp fig8               # one experiment
+//	mvbench -domains 1000,2000      # custom aid-domain sweep
+//	mvbench -full 50000             # full-dataset size for fig10/fig11
+//	mvbench -quick                  # small sweeps (seconds, not minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvdb/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,madden,ablate-entry,methods,marginals,exactness or all")
+		domains = flag.String("domains", "", "comma-separated aid-domain sweep (default 1000..10000)")
+		full    = flag.Int("full", 0, "full-dataset author count for fig10/fig11/madden")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		samples = flag.Int("mcsat-samples", 0, "MC-SAT samples for fig5/fig6")
+		quick   = flag.Bool("quick", false, "small sweeps for a fast smoke run")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	opts := bench.Defaults()
+	if *quick {
+		opts = bench.Small()
+	}
+	opts.Seed = *seed
+	if *domains != "" {
+		opts.Domains = nil
+		for _, s := range strings.Split(*domains, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: bad domain %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			opts.Domains = append(opts.Domains, n)
+		}
+	}
+	if *full > 0 {
+		opts.FullAuthors = *full
+	}
+	if *samples > 0 {
+		opts.MCSatSamples = *samples
+	}
+
+	run := func(id string) {
+		runner, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mvbench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		tab, err := runner(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			if err := tab.FprintCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			tab.Fprint(os.Stdout)
+			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "madden", "ablate-entry", "methods", "marginals", "exactness"} {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

@@ -1,0 +1,73 @@
+// Command mvdbd serves a compiled MV-index over HTTP (see internal/server
+// for the JSON API). It either generates the synthetic DBLP dataset or
+// loads a previously saved index.
+//
+//	mvdbd -authors 2000 -addr :8080
+//	mvdbd -load-index dblp.mvx -addr :8080
+//
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/query -d '{"query": "Q(a) :- Advisor(104,a)"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"mvdb/internal/core"
+	"mvdb/internal/dblp"
+	"mvdb/internal/mvindex"
+	"mvdb/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		authors   = flag.Int("authors", 2000, "aid domain of the synthetic DBLP dataset")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		loadIndex = flag.String("load-index", "", "serve a previously saved MV-index instead of generating data")
+	)
+	flag.Parse()
+
+	var (
+		ix  *mvindex.Index
+		err error
+	)
+	t0 := time.Now()
+	if *loadIndex != "" {
+		fmt.Fprintf(os.Stderr, "loading MV-index from %s...\n", *loadIndex)
+		ix, err = mvindex.LoadFile(*loadIndex)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating synthetic DBLP (%d authors)...\n", *authors)
+		var data *dblp.Dataset
+		data, err = dblp.Generate(dblp.Config{NumAuthors: *authors, Seed: *seed})
+		if err == nil {
+			var m *core.MVDB
+			m, err = data.MVDB()
+			if err == nil {
+				var tr *core.Translation
+				tr, err = m.Translate(core.TranslateOptions{})
+				if err == nil {
+					ix, err = mvindex.Build(tr)
+				}
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvdbd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ready in %v: %d index nodes, %d blocks; listening on %s\n",
+		time.Since(t0).Round(time.Millisecond), ix.Size(), ix.Blocks(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(ix),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvdbd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+// Learning: recover MarkoView weights from data.
+//
+// The paper points out that a MarkoView "can be seen as a set of MLN
+// features, and thus, its weights can be learned as in MLNs" (Section 1),
+// and defers learning to MLN machinery. This example closes that loop on a
+// small instance: it builds an MVDB whose view correlates two tables,
+// samples training worlds from the exact Definition 4 distribution, learns
+// all feature weights back by exact-gradient generative learning starting
+// from indifference (w = 1), and compares the learned model's marginals to
+// the source model's.
+//
+//	go run ./examples/learning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mvdb"
+)
+
+func main() {
+	// Ground truth: three papers, each with an "is-seminal" tuple in R and
+	// a "highly-cited" tuple in S; the view says the two go together.
+	const trueViewWeight = 5.0
+	build := func() *mvdb.MVDB {
+		db := mvdb.NewDatabase()
+		db.MustCreateRelation("Seminal", false, "pid")
+		db.MustCreateRelation("Cited", false, "pid")
+		for pid := int64(1); pid <= 3; pid++ {
+			db.MustInsert("Seminal", 0.8, mvdb.Int(pid))
+			db.MustInsert("Cited", 1.5, mvdb.Int(pid))
+		}
+		m := mvdb.New(db)
+		v, err := mvdb.ParseView("V(p) :- Seminal(p), Cited(p)", mvdb.ConstWeight(trueViewWeight))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.AddView(v); err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	src := build()
+	net, err := src.GroundMLN()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source MLN: %d variables, %d features (6 tuples + 3 view tuples)\n",
+		net.NumVars, len(net.Features))
+
+	// Training data: worlds drawn from the exact MVDB distribution.
+	data, err := net.SampleWorlds(15000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d training worlds\n\n", len(data))
+
+	learned, err := net.LearnWeights(data, mvdb.LearnOptions{Iterations: 300, LearningRate: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The view-tuple features are the last three; weights are identifiable
+	// only up to reparameterization, so compare marginals instead.
+	q, err := mvdb.ParseQuery("Q() :- Seminal(1), Cited(1)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := src.ProbExact(q.UCQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s %-10s %-10s\n", "quantity", "source", "learned")
+	for i := 1; i <= net.NumVars; i++ {
+		ws, _ := net.MarginalExact(varFormula(i))
+		wl, _ := learned.MarginalExact(varFormula(i))
+		fmt.Printf("P(x%d)%29s %-10.4f %-10.4f\n", i, "", ws, wl)
+	}
+	fmt.Printf("\nP(Seminal(1) ∧ Cited(1)) source = %.4f\n", want)
+	fmt.Printf("view weight used by the source model: %.1f (positive correlation)\n", trueViewWeight)
+	fmt.Println("\nthe learned model reproduces the source marginals from data alone,")
+	fmt.Println("starting from independence — the MLN learning loop the paper refers to.")
+}
+
+// varFormula adapts a variable id to the formula interface via the facade's
+// MLN alias (lineage.Var is internal; MLN queries accept any Formula, and
+// single-variable marginals are the common case, so the facade could grow a
+// helper — here we go through a one-variable ground query instead).
+func varFormula(v int) mvdb.MLNFormula { return mvdb.VarFormula(v) }

@@ -1,0 +1,3 @@
+module mvdb
+
+go 1.22

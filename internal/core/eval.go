@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lift"
+	"mvdb/internal/lineage"
+	"mvdb/internal/obdd"
+	"mvdb/internal/plan"
+	"mvdb/internal/ucq"
+	"mvdb/internal/wmc"
+)
+
+// Method selects how P0 probabilities on the translated INDB are computed.
+type Method int
+
+// Evaluation methods.
+const (
+	// MethodBruteForce enumerates assignments of the combined lineage —
+	// exact, exponential, only for small instances and tests.
+	MethodBruteForce Method = iota
+	// MethodOBDD compiles W once with ConOBDD (cached on the Translation)
+	// and synthesizes each query's lineage against it.
+	MethodOBDD
+	// MethodLifted runs safe-plan lifted inference on W and Q ∨ W; it fails
+	// with lift.ErrUnsafe when either query has no safe plan.
+	MethodLifted
+	// MethodDPLL runs the Davis-Putnam-style weighted model counter on the
+	// combined lineage: exact, no compilation, valid for negative
+	// probabilities — the MystiQ-style baseline of Section 6.
+	MethodDPLL
+	// MethodPlan extracts extensional safe plans for W and Q ∨ W and
+	// executes them; fails with plan.ErrNoPlan when no safe plan exists.
+	MethodPlan
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodBruteForce:
+		return "brute-force"
+	case MethodOBDD:
+		return "obdd"
+	case MethodLifted:
+		return "lifted"
+	case MethodDPLL:
+		return "dpll"
+	case MethodPlan:
+		return "safe-plan"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Answer is one output tuple with its marginal probability.
+type Answer struct {
+	Head []engine.Value
+	Prob float64
+}
+
+type obddState struct {
+	m     *obdd.Manager
+	fW    obdd.NodeID
+	pW    float64
+	stats obdd.CompileStats
+}
+
+// ensureOBDD compiles W once, with the separator-first permutation when W
+// has a separator, and caches the manager. The Translation must not be
+// mutated afterwards.
+func (t *Translation) ensureOBDD() (*obddState, error) {
+	if t.obdd != nil {
+		return t.obdd, nil
+	}
+	m, fW, stats, err := t.CompileW(obdd.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	st := &obddState{m: m, fW: fW, stats: stats}
+	st.pW = m.Prob(fW, t.DB.Probs())
+	t.obdd = st
+	return st, nil
+}
+
+// CompileStats exposes how W was compiled (after ensureOBDD has run).
+func (t *Translation) CompileStats() (obdd.CompileStats, error) {
+	st, err := t.ensureOBDD()
+	if err != nil {
+		return obdd.CompileStats{}, err
+	}
+	return st.stats, nil
+}
+
+// WLineage returns the lineage of W on the translated database — the
+// quantity plotted in Figure 4.
+func (t *Translation) WLineage() (lineage.DNF, error) {
+	return ucq.EvalBoolean(t.DB, t.W)
+}
+
+// ProbW computes P0(W).
+func (t *Translation) ProbW(method Method) (float64, error) {
+	if !t.HasConstraints() {
+		return 0, nil
+	}
+	switch method {
+	case MethodBruteForce:
+		lin, err := t.WLineage()
+		if err != nil {
+			return 0, err
+		}
+		return lineage.BruteForceProb(lin, t.DB.Probs()), nil
+	case MethodOBDD:
+		st, err := t.ensureOBDD()
+		if err != nil {
+			return 0, err
+		}
+		return st.pW, nil
+	case MethodLifted:
+		return lift.Prob(t.DB, t.W)
+	case MethodDPLL:
+		lin, err := t.WLineage()
+		if err != nil {
+			return 0, err
+		}
+		return wmc.Prob(lin, t.DB.Probs()), nil
+	case MethodPlan:
+		p, err := plan.Extract(t.DB, t.W)
+		if err != nil {
+			return 0, err
+		}
+		return p.Prob()
+	}
+	return 0, fmt.Errorf("core: unknown method %v", method)
+}
+
+// ProbBoolean computes P(Q) for a Boolean query over the original schema via
+// Theorem 1.
+func (t *Translation) ProbBoolean(q ucq.UCQ, method Method) (float64, error) {
+	if err := t.checkQuery(q); err != nil {
+		return 0, err
+	}
+	if method != MethodLifted && method != MethodPlan {
+		lin, err := ucq.EvalBoolean(t.DB, q)
+		if err != nil {
+			return 0, err
+		}
+		return t.probFromLineage(lin, method)
+	}
+	// Lifted / safe-plan: evaluate P0(Q ∨ W) and P0(W) as UCQs.
+	pW, err := t.ProbW(method)
+	if err != nil {
+		return 0, err
+	}
+	qw := ucq.UCQ{Disjuncts: append(append([]ucq.CQ{}, q.Disjuncts...), t.W.Disjuncts...)}
+	var pQW float64
+	switch method {
+	case MethodLifted:
+		pQW, err = lift.Prob(t.DB, qw)
+	case MethodPlan:
+		var p *plan.Plan
+		if p, err = plan.Extract(t.DB, qw); err == nil {
+			pQW, err = p.Prob()
+		}
+	default:
+		return 0, fmt.Errorf("core: unknown method %v", method)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return theorem1(pQW, pW)
+}
+
+// probFromLineage applies Theorem 1 given the query's lineage on the
+// translated database.
+func (t *Translation) probFromLineage(linQ lineage.DNF, method Method) (float64, error) {
+	switch method {
+	case MethodBruteForce:
+		if !t.HasConstraints() {
+			return lineage.BruteForceProb(linQ, t.DB.Probs()), nil
+		}
+		linW, err := t.WLineage()
+		if err != nil {
+			return 0, err
+		}
+		probs := t.DB.Probs()
+		pW := lineage.BruteForceProb(linW, probs)
+		pQW := lineage.BruteForceProb(lineage.Or(linQ, linW), probs)
+		return theorem1(pQW, pW)
+	case MethodOBDD:
+		st, err := t.ensureOBDD()
+		if err != nil {
+			return 0, err
+		}
+		fQ := obdd.BuildDNF(st.m, linQ)
+		probs := t.DB.Probs()
+		pQW := st.m.Prob(st.m.Or(fQ, st.fW), probs)
+		return theorem1(pQW, st.pW)
+	case MethodDPLL:
+		if !t.HasConstraints() {
+			return wmc.Prob(linQ, t.DB.Probs()), nil
+		}
+		linW, err := t.WLineage()
+		if err != nil {
+			return 0, err
+		}
+		probs := t.DB.Probs()
+		s := wmc.NewSolver(probs)
+		pW := s.Prob(linW)
+		pQW := s.Prob(lineage.Or(linQ, linW))
+		return theorem1(pQW, pW)
+	}
+	return 0, fmt.Errorf("core: method %v cannot evaluate from lineage", method)
+}
+
+// theorem1 is Equation 5: P(Q) = (P0(Q∨W) - P0(W)) / (1 - P0(W)).
+//
+// The subtraction is numerically safe only while P0(¬W) = 1 - P0(W) is well
+// above float64 epsilon; past that the global methods lose all precision
+// (P0(W) and P0(Q∨W) agree to 16 digits), so they refuse rather than return
+// garbage. The MV-index evaluates the equivalent ratio P0(Q∧¬W)/P0(¬W)
+// block-locally and has no such limit.
+func theorem1(pQW, pW float64) (float64, error) {
+	denom := 1 - pW
+	if math.Abs(denom) < 1e-300 {
+		return 0, fmt.Errorf("core: P0(¬W) = 0 — the MarkoViews are inconsistent (no possible world satisfies them)")
+	}
+	if math.Abs(denom) < 1e-9 {
+		return 0, fmt.Errorf("core: P0(¬W) = %.3g is below the numerical floor of the global methods; use the MV-index (mvindex.Build), which evaluates block-locally", denom)
+	}
+	return (pQW - pW) / denom, nil
+}
+
+// Query evaluates a named query over the MVDB and returns each answer tuple
+// with its marginal probability, sorted by head tuple. Tuples whose
+// probability is numerically zero are still reported (they are possible
+// answers in some world).
+func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
+	if err := t.checkQuery(q.UCQ); err != nil {
+		return nil, err
+	}
+	rows, err := ucq.Eval(t.DB, q)
+	if err != nil {
+		return nil, err
+	}
+	// MethodPlan extracts one parameterized plan for Q ∨ W and evaluates it
+	// per answer — the safe-plan execution model.
+	var qw *plan.Template
+	var pW float64
+	if method == MethodPlan {
+		combined := ucq.UCQ{Disjuncts: append(append([]ucq.CQ{}, q.Disjuncts...), padDisjuncts(t.W, q.Head)...)}
+		qw, err = plan.ExtractTemplate(t.DB, combined, q.Head)
+		if err != nil {
+			return nil, err
+		}
+		if pW, err = t.ProbW(method); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Answer, 0, len(rows))
+	for _, r := range rows {
+		var p float64
+		switch method {
+		case MethodLifted:
+			b, err := q.Bind(r.Head)
+			if err != nil {
+				return nil, err
+			}
+			p, err = t.ProbBoolean(b, method)
+			if err != nil {
+				return nil, err
+			}
+		case MethodPlan:
+			pQW, err := qw.ProbWith(r.Head)
+			if err != nil {
+				return nil, err
+			}
+			p, err = theorem1(pQW, pW)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			p, err = t.probFromLineage(r.Lineage, method)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, Answer{Head: r.Head, Prob: p})
+	}
+	return out, nil
+}
+
+// padDisjuncts renames any of W's variables that collide with the query's
+// head names, so substituting the head parameters cannot capture them.
+func padDisjuncts(w ucq.UCQ, head []string) []ucq.CQ {
+	// Rename W's variables so they cannot collide with head names.
+	out := make([]ucq.CQ, 0, len(w.Disjuncts))
+	for i, d := range w.Disjuncts {
+		binding := map[string]bool{}
+		for _, h := range head {
+			binding[h] = true
+		}
+		needs := false
+		for _, v := range d.Vars() {
+			if binding[v] {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			out = append(out, d)
+			continue
+		}
+		prefix := fmt.Sprintf("w%d·", i)
+		rename := func(t ucq.Term) ucq.Term {
+			if t.IsConst || !binding[t.Var] {
+				return t
+			}
+			return ucq.V(prefix + t.Var)
+		}
+		nd := ucq.CQ{Atoms: make([]ucq.Atom, len(d.Atoms)), Preds: make([]ucq.Pred, len(d.Preds))}
+		for j, a := range d.Atoms {
+			na := ucq.Atom{Rel: a.Rel, Negated: a.Negated, Args: make([]ucq.Term, len(a.Args))}
+			for k, tm := range a.Args {
+				na.Args[k] = rename(tm)
+			}
+			nd.Atoms[j] = na
+		}
+		for j, p := range d.Preds {
+			nd.Preds[j] = ucq.Pred{Op: p.Op, L: rename(p.L), R: rename(p.R), Offset: p.Offset}
+		}
+		out = append(out, nd)
+	}
+	return out
+}
+
+// OBDD returns the manager and the OBDD root of W, compiling and caching it
+// on first use. The Translation must not be mutated afterwards; callers may
+// extend the manager with query OBDDs sharing the same order.
+func (t *Translation) OBDD() (*obdd.Manager, obdd.NodeID, error) {
+	st, err := t.ensureOBDD()
+	if err != nil {
+		return nil, obdd.False, err
+	}
+	return st.m, st.fW, nil
+}
+
+// WPerm returns the attribute permutation used to compile W: separator-first
+// when W has a (determinism-aware) separator, identity otherwise.
+func (t *Translation) WPerm() obdd.Perm {
+	pi := obdd.IdentityPerm(t.DB)
+	skip := ucq.SkipDeterministic(func(rel string) bool {
+		r := t.DB.Relation(rel)
+		return r != nil && r.Deterministic
+	}, ucq.SkipGround)
+	if sep, ok := t.W.FindSeparatorSkip(skip); ok {
+		pi = obdd.SeparatorFirstPerm(t.DB, sep)
+	}
+	return pi
+}
+
+// CompileW compiles W into a fresh manager with the given options — used by
+// the Figure 8 construction-time comparison; the cached OBDD path
+// (ensureOBDD) is unaffected.
+func (t *Translation) CompileW(opts obdd.CompileOptions) (*obdd.Manager, obdd.NodeID, obdd.CompileStats, error) {
+	return obdd.Compile(t.DB, t.W, t.WPerm(), opts)
+}
+
+// ProbConditional computes P(Q | E) = P(Q ∧ E) / P(E) on the MVDB, both
+// probabilities through Theorem 1. It errors when P(E) = 0.
+func (t *Translation) ProbConditional(q, e ucq.UCQ, method Method) (float64, error) {
+	if err := t.checkQuery(q); err != nil {
+		return 0, err
+	}
+	if err := t.checkQuery(e); err != nil {
+		return 0, err
+	}
+	pE, err := t.ProbBoolean(e, method)
+	if err != nil {
+		return 0, err
+	}
+	if pE == 0 {
+		return 0, fmt.Errorf("core: conditioning on an impossible event")
+	}
+	pQE, err := t.ProbBoolean(ucq.Conjoin(q, e), method)
+	if err != nil {
+		return 0, err
+	}
+	return pQE / pE, nil
+}
+
+// TopK returns the k highest-probability answers (ties broken by head
+// tuple), without mutating the input.
+func TopK(answers []Answer, k int) []Answer {
+	out := append([]Answer(nil), answers...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return engine.TupleKey(out[i].Head) < engine.TupleKey(out[j].Head)
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// AttachOBDD installs an externally restored OBDD of W (e.g. from a saved
+// MV-index) so evaluation does not recompile it. The manager must use the
+// order of WPerm over the same database.
+func (t *Translation) AttachOBDD(m *obdd.Manager, fW obdd.NodeID) {
+	st := &obddState{m: m, fW: fW}
+	st.pW = m.Prob(fW, t.DB.Probs())
+	t.obdd = st
+}
+
+// Evidence fixes the truth value of specific probabilistic tuples (by
+// Boolean variable id): true asserts presence, false absence.
+type Evidence map[int]bool
+
+// ProbGivenTuples computes P(Q | E) on the MVDB, where E asserts the
+// presence or absence of probabilistic tuples. Conditioning a
+// tuple-independent product measure on tuple values is exactly overriding
+// their probabilities with 1 or 0, so the Theorem 1 ratio is evaluated
+// under the conditioned probability vector:
+//
+//	P(Q | E) = P0'(Q ∧ ¬W) / P0'(¬W)
+//
+// (the conditioning of [17], Koch & Olteanu, specialised to tuple
+// evidence). Evaluation uses the DPLL weighted model counter.
+func (t *Translation) ProbGivenTuples(q ucq.UCQ, ev Evidence, method Method) (float64, error) {
+	if err := t.checkQuery(q); err != nil {
+		return 0, err
+	}
+	probs := t.DB.Probs()
+	for v, present := range ev {
+		if v < 1 || v >= len(probs) {
+			return 0, fmt.Errorf("core: evidence variable %d out of range", v)
+		}
+		if t.IsNVVar(v) {
+			return 0, fmt.Errorf("core: evidence on internal NV variable %d", v)
+		}
+		if present {
+			probs[v] = 1
+		} else {
+			probs[v] = 0
+		}
+	}
+	if method != MethodDPLL && method != MethodBruteForce {
+		return 0, fmt.Errorf("core: ProbGivenTuples supports MethodDPLL and MethodBruteForce, not %v", method)
+	}
+	linQ, err := ucq.EvalBoolean(t.DB, q)
+	if err != nil {
+		return 0, err
+	}
+	var pNotW, pQNotW float64
+	if t.HasConstraints() {
+		linW, err := t.WLineage()
+		if err != nil {
+			return 0, err
+		}
+		notW := lineage.Not{F: lineage.FromDNF(linW)}
+		qAndNotW := lineage.And{lineage.FromDNF(linQ), notW}
+		if method == MethodBruteForce {
+			pNotW = lineage.BruteForceProbFormula(notW, probs)
+			pQNotW = lineage.BruteForceProbFormula(qAndNotW, probs)
+		} else {
+			s := wmc.NewSolver(probs)
+			pW := s.Prob(linW)
+			pQW := s.Prob(lineage.Or(linQ, linW))
+			pNotW = 1 - pW
+			pQNotW = pQW - pW
+		}
+	} else {
+		pNotW = 1
+		if method == MethodBruteForce {
+			pQNotW = lineage.BruteForceProb(linQ, probs)
+		} else {
+			pQNotW = wmc.Prob(linQ, probs)
+		}
+	}
+	if math.Abs(pNotW) < 1e-12 {
+		return 0, fmt.Errorf("core: evidence is inconsistent with the MarkoViews (P0'(¬W) = 0)")
+	}
+	return pQNotW / pNotW, nil
+}

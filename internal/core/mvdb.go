@@ -1,0 +1,278 @@
+// Package core implements the paper's contribution: MVDBs — probabilistic
+// databases with MarkoViews (Section 2.4) — their Markov-Logic-Network
+// semantics (Definition 4), the translation to a tuple-independent database
+// (Definition 5), and query evaluation through Theorem 1:
+//
+//	P(Q) = (P0(Q ∨ W) - P0(W)) / (1 - P0(W))
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lineage"
+	"mvdb/internal/mln"
+	"mvdb/internal/ucq"
+)
+
+// WeightFn computes the weight of one MarkoView output tuple from its head
+// values. Weights are multiplicative MLN weights: 0 is a hard (denial)
+// constraint, 1 independence, values above 1 positive correlation.
+type WeightFn func(head []engine.Value) float64
+
+// ConstWeight returns a WeightFn assigning the same weight to every tuple.
+func ConstWeight(w float64) WeightFn {
+	return func([]engine.Value) float64 { return w }
+}
+
+// MarkoView is a weighted UCQ view over the probabilistic and deterministic
+// tables (Definition 3).
+type MarkoView struct {
+	Name   string
+	Head   []string
+	Def    ucq.UCQ
+	Weight WeightFn
+}
+
+// MVDB is a probabilistic database together with its MarkoViews.
+type MVDB struct {
+	DB    *engine.Database
+	Views []*MarkoView
+}
+
+// New wraps a database as an MVDB without views (equivalent to an INDB).
+func New(db *engine.Database) *MVDB {
+	return &MVDB{DB: db}
+}
+
+// AddView registers a MarkoView after validating it.
+func (m *MVDB) AddView(v *MarkoView) error {
+	if v.Name == "" {
+		return fmt.Errorf("core: view needs a name")
+	}
+	for _, existing := range m.Views {
+		if existing.Name == v.Name {
+			return fmt.Errorf("core: view %s already defined", v.Name)
+		}
+	}
+	if m.DB.Relation(v.Name) != nil {
+		return fmt.Errorf("core: view %s clashes with a relation name", v.Name)
+	}
+	if v.Weight == nil {
+		return fmt.Errorf("core: view %s has no weight function", v.Name)
+	}
+	q := &ucq.Query{Name: v.Name, Head: v.Head, UCQ: v.Def}
+	if err := q.Validate(); err != nil {
+		return fmt.Errorf("core: view %s: %w", v.Name, err)
+	}
+	for _, d := range v.Def.Disjuncts {
+		for _, a := range d.Atoms {
+			rel := m.DB.Relation(a.Rel)
+			if rel == nil {
+				return fmt.Errorf("core: view %s uses unknown relation %s", v.Name, a.Rel)
+			}
+			if len(a.Args) != rel.Arity() {
+				return fmt.Errorf("core: view %s: relation %s has arity %d, atom has %d arguments",
+					v.Name, a.Rel, rel.Arity(), len(a.Args))
+			}
+		}
+	}
+	m.Views = append(m.Views, v)
+	return nil
+}
+
+// ParseView parses "V(x,y) :- body" rules (one or more lines, same head)
+// into a MarkoView with the given weight function.
+func ParseView(src string, w WeightFn) (*MarkoView, error) {
+	q, err := ucq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &MarkoView{Name: q.Name, Head: q.Head, Def: q.UCQ, Weight: w}, nil
+}
+
+// ViewTuple is one materialized output tuple of a MarkoView.
+type ViewTuple struct {
+	View    string
+	Head    []engine.Value
+	Weight  float64     // the MarkoView weight w
+	Lineage lineage.DNF // lineage of the view body at this head tuple
+}
+
+// Materialize evaluates every view over the set of possible tuples I_poss
+// (Section 2.4: TupV) and returns the weighted view tuples.
+func (m *MVDB) Materialize() ([]ViewTuple, error) {
+	var out []ViewTuple
+	for _, v := range m.Views {
+		q := &ucq.Query{Name: v.Name, Head: v.Head, UCQ: v.Def}
+		rows, err := ucq.Eval(m.DB, q)
+		if err != nil {
+			return nil, fmt.Errorf("core: materializing view %s: %w", v.Name, err)
+		}
+		for _, r := range rows {
+			w := v.Weight(r.Head)
+			if math.IsNaN(w) || w < 0 {
+				return nil, fmt.Errorf("core: view %s assigns invalid weight %v to %s",
+					v.Name, w, engine.FormatTuple(r.Head))
+			}
+			if math.IsInf(w, 1) {
+				return nil, fmt.Errorf("core: view %s assigns weight +Inf to %s (degenerate translation; assert the tuples directly instead)",
+					v.Name, engine.FormatTuple(r.Head))
+			}
+			out = append(out, ViewTuple{View: v.Name, Head: r.Head, Weight: w, Lineage: r.Lineage})
+		}
+	}
+	return out, nil
+}
+
+// GroundMLN builds the Markov Logic Network of Definition 4: one feature
+// (X_t, w(t)) per probabilistic tuple and one feature (Q_i(t̄), w_V(t)) per
+// view tuple. Deterministic tuples are present in every world and do not
+// appear as variables. Intended as exact ground truth on small instances.
+func (m *MVDB) GroundMLN() (*mln.Network, error) {
+	var feats []mln.Feature
+	for v := 1; v <= m.DB.NumVars(); v++ {
+		w := m.DB.Weight(v)
+		if w < 0 {
+			return nil, fmt.Errorf("core: tuple variable %d has negative weight %v; MVDB weights must be non-negative", v, w)
+		}
+		feats = append(feats, mln.Feature{F: lineage.Var(v), Weight: w})
+	}
+	tuples, err := m.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tuples {
+		feats = append(feats, mln.Feature{F: lineage.FromDNF(t.Lineage), Weight: t.Weight})
+	}
+	return mln.New(m.DB.NumVars(), feats)
+}
+
+// ProbExact computes P(Q) directly from the Definition 4 semantics by
+// enumerating all possible worlds. Only feasible on small instances; used as
+// the ground truth that Theorem 1 is tested against.
+func (m *MVDB) ProbExact(q ucq.UCQ) (float64, error) {
+	net, err := m.GroundMLN()
+	if err != nil {
+		return 0, err
+	}
+	lin, err := ucq.EvalBoolean(m.DB, q)
+	if err != nil {
+		return 0, err
+	}
+	return net.MarginalExact(lineage.FromDNF(lin))
+}
+
+// ProbMCSat estimates P(Q) with the MC-SAT sampler over the Definition 4
+// MLN — the Alchemy-style baseline of Section 5.1.
+func (m *MVDB) ProbMCSat(q ucq.UCQ, opt mln.MCSatOptions) (float64, error) {
+	net, err := m.GroundMLN()
+	if err != nil {
+		return 0, err
+	}
+	lin, err := ucq.EvalBoolean(m.DB, q)
+	if err != nil {
+		return 0, err
+	}
+	return net.MarginalMCSat(lineage.FromDNF(lin), opt)
+}
+
+// MAPWorld is the result of MAP inference: the tuples present in a most
+// likely possible world, with the world's (unnormalized) weight Φ.
+type MAPWorld struct {
+	Tuples map[string][][]engine.Value // relation -> tuples present
+	Weight float64
+}
+
+// MAPExact computes a most likely world of the MVDB by exhaustive
+// enumeration of the Definition 4 semantics (small instances only).
+func (m *MVDB) MAPExact() (*MAPWorld, error) {
+	net, err := m.GroundMLN()
+	if err != nil {
+		return nil, err
+	}
+	state, w, err := net.MAPExact()
+	if err != nil {
+		return nil, err
+	}
+	return m.stateToWorld(state, w)
+}
+
+// MAPWalk approximates the most likely world with a MaxWalkSAT-style local
+// search; usable at scales where exact enumeration is infeasible.
+func (m *MVDB) MAPWalk(opt mln.MAPOptions) (*MAPWorld, error) {
+	net, err := m.GroundMLN()
+	if err != nil {
+		return nil, err
+	}
+	state, w, err := net.MAPWalk(opt)
+	if err != nil {
+		return nil, err
+	}
+	return m.stateToWorld(state, w)
+}
+
+func (m *MVDB) stateToWorld(state []bool, w float64) (*MAPWorld, error) {
+	out := &MAPWorld{Tuples: map[string][][]engine.Value{}, Weight: w}
+	for v := 1; v <= m.DB.NumVars(); v++ {
+		if !state[v] {
+			continue
+		}
+		rel, t, err := m.DB.VarTuple(v)
+		if err != nil {
+			return nil, err
+		}
+		out.Tuples[rel] = append(out.Tuples[rel], t.Vals)
+	}
+	return out, nil
+}
+
+// DefineProbTable materializes a probabilistic table from a query over
+// deterministic tables — the middle layer of Figure 1, where each
+// probabilistic table "is defined by a query, which also associates a
+// weight to every output tuple" (e.g. Studentp(aid,year)[exp(1-.15(year-
+// year'))] :- FirstPub(aid,year'), year'-1 <= year <= year'+5). It creates
+// the relation named by the query head and inserts one weighted tuple per
+// distinct answer; the weight function sees the head values. It returns the
+// number of tuples inserted.
+func DefineProbTable(db *engine.Database, q *ucq.Query, weight WeightFn) (int, error) {
+	if weight == nil {
+		return 0, fmt.Errorf("core: prob table %s needs a weight function", q.Name)
+	}
+	if len(q.Head) == 0 {
+		return 0, fmt.Errorf("core: prob table %s needs head variables", q.Name)
+	}
+	for _, d := range q.Disjuncts {
+		for _, a := range d.Atoms {
+			rel := db.Relation(a.Rel)
+			if rel == nil {
+				return 0, fmt.Errorf("core: prob table %s uses unknown relation %s", q.Name, a.Rel)
+			}
+			if !rel.Deterministic {
+				return 0, fmt.Errorf("core: prob table %s must be defined over deterministic tables; %s is probabilistic", q.Name, a.Rel)
+			}
+		}
+	}
+	rows, err := ucq.Eval(db, q)
+	if err != nil {
+		return 0, err
+	}
+	cols := make([]string, len(q.Head))
+	copy(cols, q.Head)
+	if _, err := db.CreateRelation(q.Name, false, cols...); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, r := range rows {
+		w := weight(r.Head)
+		if math.IsNaN(w) || w < 0 {
+			return n, fmt.Errorf("core: prob table %s assigns invalid weight %v to %s", q.Name, w, engine.FormatTuple(r.Head))
+		}
+		if _, err := db.Insert(q.Name, w, r.Head...); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/ucq"
+)
+
+// TranslateOptions tunes the MVDB → INDB translation.
+type TranslateOptions struct {
+	// NVPrefix prefixes the fresh NV relation names (default "NV_").
+	NVPrefix string
+	// KeepIndependent keeps view tuples with weight exactly 1. They are
+	// pruned by default: their translated weight is 0, probability 0, so the
+	// NV tuple can never appear and W_i can never fire through it.
+	KeepIndependent bool
+	// NoDenialOptimization disables the special handling of pure denial
+	// views (all weights 0). By default such a view's NV relation is
+	// deterministic and dropped from W_i entirely (Section 3.2, last
+	// paragraph); with this flag the general per-tuple path is used instead,
+	// which must give identical answers (tested).
+	NoDenialOptimization bool
+}
+
+// Translation is the tuple-independent database D0 of Definition 5 together
+// with the Boolean UCQ W of Theorem 1.
+type Translation struct {
+	Source *MVDB
+	DB     *engine.Database // clone of the MVDB's tables plus the NV relations
+	W      ucq.UCQ          // W = ∨ᵢ Wᵢ, Wᵢ = NVᵢ(x̄) ∧ Qᵢ(x̄)
+
+	NVRelations       []string // one per non-empty view, in view order
+	PrunedIndependent int      // view tuples with w = 1 skipped
+	DenialViews       []string // views handled by the denial optimization
+
+	nvSet map[string]bool
+	obdd  *obddState
+}
+
+// Translate builds the associated INDB (Definition 5): every table of the
+// MVDB carries over unchanged, and each MarkoView Vᵢ contributes a fresh
+// relation NVᵢ holding the view's possible tuples with weight (1-w)/w —
+// negative whenever w > 1.
+func (m *MVDB) Translate(opts TranslateOptions) (*Translation, error) {
+	if opts.NVPrefix == "" {
+		opts.NVPrefix = "NV_"
+	}
+	tuples, err := m.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	byView := map[string][]ViewTuple{}
+	for _, t := range tuples {
+		byView[t.View] = append(byView[t.View], t)
+	}
+
+	t := &Translation{
+		Source: m,
+		DB:     m.DB.Clone(),
+		nvSet:  map[string]bool{},
+	}
+	for _, v := range m.Views {
+		vts := byView[v.Name]
+		if len(vts) == 0 {
+			continue // empty view: Wᵢ is identically false
+		}
+		nvName := opts.NVPrefix + v.Name
+		if t.DB.Relation(nvName) != nil {
+			return nil, fmt.Errorf("core: NV relation name %s clashes with an existing relation", nvName)
+		}
+
+		pureDenial := true
+		for _, vt := range vts {
+			if vt.Weight != 0 {
+				pureDenial = false
+				break
+			}
+		}
+
+		if pureDenial && !opts.NoDenialOptimization {
+			// NV would be deterministic (weight (1-0)/0 = ∞) and, since NV
+			// contains every possible view tuple, NVᵢ(x̄) is implied by
+			// Qᵢ(x̄): drop it from Wᵢ.
+			t.DenialViews = append(t.DenialViews, v.Name)
+			t.W.Disjuncts = append(t.W.Disjuncts, v.Def.Disjuncts...)
+			continue
+		}
+
+		cols := make([]string, len(v.Head))
+		copy(cols, v.Head)
+		if _, err := t.DB.CreateRelation(nvName, false, cols...); err != nil {
+			return nil, err
+		}
+		inserted := 0
+		for _, vt := range vts {
+			if vt.Weight == 1 && !opts.KeepIndependent {
+				t.PrunedIndependent++
+				continue
+			}
+			var w0 float64
+			if vt.Weight == 0 {
+				w0 = math.Inf(1) // hard constraint tuple: probability 1
+			} else {
+				w0 = (1 - vt.Weight) / vt.Weight
+			}
+			if _, err := t.DB.Insert(nvName, w0, vt.Head...); err != nil {
+				return nil, fmt.Errorf("core: view %s: %w", v.Name, err)
+			}
+			inserted++
+		}
+		if inserted == 0 {
+			// All tuples pruned: Wᵢ can never fire.
+			continue
+		}
+		t.NVRelations = append(t.NVRelations, nvName)
+		t.nvSet[nvName] = true
+
+		// Wᵢ: add the NV atom over the head variables to every disjunct.
+		nvArgs := make([]ucq.Term, len(v.Head))
+		for i, h := range v.Head {
+			nvArgs[i] = ucq.V(h)
+		}
+		for _, d := range v.Def.Disjuncts {
+			wi := ucq.CQ{
+				Atoms: append([]ucq.Atom{{Rel: nvName, Args: nvArgs}}, d.Atoms...),
+				Preds: d.Preds,
+			}
+			t.W.Disjuncts = append(t.W.Disjuncts, wi)
+		}
+	}
+	return t, nil
+}
+
+// HasConstraints reports whether W is non-trivial (some view produced
+// constraints). When false, the MVDB is an ordinary INDB and P = P0.
+func (t *Translation) HasConstraints() bool { return len(t.W.Disjuncts) > 0 }
+
+// checkQuery rejects queries that mention the internal NV relations.
+func (t *Translation) checkQuery(q ucq.UCQ) error {
+	for _, rel := range q.Relations() {
+		if t.nvSet[rel] {
+			return fmt.Errorf("core: query mentions internal relation %s", rel)
+		}
+	}
+	return nil
+}
+
+// TranslationSnapshot is the serializable part of a Translation (the source
+// MVDB's views and weight functions are Go closures and are not persisted;
+// a restored Translation supports query evaluation but not re-translation).
+type TranslationSnapshot struct {
+	W                 ucq.UCQ
+	NVRelations       []string
+	DenialViews       []string
+	PrunedIndependent int
+}
+
+// Snapshot captures the translation's serializable state (pair it with
+// DB.Save for the data).
+func (t *Translation) Snapshot() TranslationSnapshot {
+	return TranslationSnapshot{
+		W:                 t.W,
+		NVRelations:       append([]string(nil), t.NVRelations...),
+		DenialViews:       append([]string(nil), t.DenialViews...),
+		PrunedIndependent: t.PrunedIndependent,
+	}
+}
+
+// RestoreTranslation rebuilds a Translation from a snapshot and its
+// database. The Source MVDB is nil on the result.
+func RestoreTranslation(db *engine.Database, s TranslationSnapshot) (*Translation, error) {
+	t := &Translation{
+		DB:                db,
+		W:                 s.W,
+		NVRelations:       append([]string(nil), s.NVRelations...),
+		DenialViews:       append([]string(nil), s.DenialViews...),
+		PrunedIndependent: s.PrunedIndependent,
+		nvSet:             map[string]bool{},
+	}
+	for _, nv := range s.NVRelations {
+		if db.Relation(nv) == nil {
+			return nil, fmt.Errorf("core: snapshot references missing NV relation %s", nv)
+		}
+		t.nvSet[nv] = true
+	}
+	for _, d := range s.W.Disjuncts {
+		for _, a := range d.Atoms {
+			if db.Relation(a.Rel) == nil {
+				return nil, fmt.Errorf("core: snapshot's W references missing relation %s", a.Rel)
+			}
+		}
+	}
+	return t, nil
+}
+
+// IsNVVar reports whether a Boolean variable belongs to one of the internal
+// NV relations introduced by the translation (as opposed to a real
+// probabilistic tuple of the source database).
+func (t *Translation) IsNVVar(v int) bool {
+	ref, err := t.DB.VarRef(v)
+	if err != nil {
+		return false
+	}
+	return t.nvSet[ref.Rel]
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AggKind selects the aggregate computed by Aggregate.
+type AggKind int
+
+// Supported aggregates. Count ignores the aggregate column; the others
+// require it to hold integers.
+const (
+	Count AggKind = iota
+	Min
+	Max
+	Sum
+)
+
+// Group is one output row of Aggregate.
+type Group struct {
+	Key   []Value
+	Value int64
+}
+
+// Aggregate groups the tuples of a deterministic relation by the key columns
+// and computes one aggregate per group. It mirrors the paper's footnote 3:
+// aggregates are evaluated over deterministic tables only and the result is
+// then used as an ordinary deterministic table.
+func Aggregate(r *Relation, keyCols []int, kind AggKind, aggCol int) ([]Group, error) {
+	if !r.Deterministic {
+		return nil, fmt.Errorf("engine: aggregate over probabilistic relation %s", r.Name)
+	}
+	for _, c := range keyCols {
+		if c < 0 || c >= r.Arity() {
+			return nil, fmt.Errorf("engine: aggregate key column %d out of range for %s", c, r.Name)
+		}
+	}
+	if kind != Count && (aggCol < 0 || aggCol >= r.Arity()) {
+		return nil, fmt.Errorf("engine: aggregate column %d out of range for %s", aggCol, r.Name)
+	}
+	groups := map[string]*Group{}
+	for _, t := range r.Tuples {
+		key := make([]Value, len(keyCols))
+		for i, c := range keyCols {
+			key[i] = t.Vals[c]
+		}
+		k := TupleKey(key)
+		g, ok := groups[k]
+		if !ok {
+			g = &Group{Key: key}
+			switch kind {
+			case Count:
+				g.Value = 1
+			default:
+				g.Value = t.Vals[aggCol].Int
+			}
+			groups[k] = g
+			continue
+		}
+		switch kind {
+		case Count:
+			g.Value++
+		case Sum:
+			g.Value += t.Vals[aggCol].Int
+		case Min:
+			if v := t.Vals[aggCol].Int; v < g.Value {
+				g.Value = v
+			}
+		case Max:
+			if v := t.Vals[aggCol].Int; v > g.Value {
+				g.Value = v
+			}
+		}
+	}
+	out := make([]Group, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return compareTuples(out[i].Key, out[j].Key) < 0 })
+	return out, nil
+}
+
+func compareTuples(a, b []Value) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VarRef locates the tuple behind a Boolean variable.
+type VarRef struct {
+	Rel string
+	Pos int // index into the relation's Tuples
+}
+
+// Database is a collection of relations plus the registry of Boolean
+// variables attached to probabilistic tuples. Variable ids start at 1; id 0
+// is reserved for "no variable" (deterministic tuples).
+type Database struct {
+	rels  map[string]*Relation
+	order []string
+
+	vars []VarRef // vars[i-1] describes variable i
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// CreateRelation adds a new relation. Deterministic relations only accept
+// tuples inserted with InsertDet.
+func (db *Database) CreateRelation(name string, deterministic bool, cols ...string) (*Relation, error) {
+	if _, exists := db.rels[name]; exists {
+		return nil, fmt.Errorf("engine: relation %s already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: relation %s must have at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c] {
+			return nil, fmt.Errorf("engine: relation %s has duplicate column %s", name, c)
+		}
+		seen[c] = true
+	}
+	r := &Relation{
+		Name:          name,
+		Cols:          append([]string(nil), cols...),
+		Deterministic: deterministic,
+		byKey:         make(map[string]int),
+		indexes:       make(map[int]colIndex),
+	}
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r, nil
+}
+
+// MustCreateRelation is CreateRelation but panics on error; intended for
+// static schema setup in tests and generators.
+func (db *Database) MustCreateRelation(name string, deterministic bool, cols ...string) *Relation {
+	r, err := db.CreateRelation(name, deterministic, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the named relation, or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// Relations returns the relation names in creation order.
+func (db *Database) Relations() []string { return append([]string(nil), db.order...) }
+
+// InsertDet inserts a deterministic tuple.
+func (db *Database) InsertDet(rel string, vals ...Value) error {
+	r := db.rels[rel]
+	if r == nil {
+		return fmt.Errorf("engine: unknown relation %s", rel)
+	}
+	_, err := r.insert(Tuple{Vals: vals, Weight: Deterministic})
+	return err
+}
+
+// Insert inserts a probabilistic tuple with the given weight (odds) and
+// returns the fresh Boolean variable attached to it. Inserting into a
+// deterministic relation is an error unless the weight is Deterministic.
+func (db *Database) Insert(rel string, weight float64, vals ...Value) (int, error) {
+	r := db.rels[rel]
+	if r == nil {
+		return 0, fmt.Errorf("engine: unknown relation %s", rel)
+	}
+	if r.Deterministic {
+		if weight != Deterministic {
+			return 0, fmt.Errorf("engine: relation %s is deterministic", rel)
+		}
+		_, err := r.insert(Tuple{Vals: vals, Weight: Deterministic})
+		return 0, err
+	}
+	v := len(db.vars) + 1
+	pos, err := r.insert(Tuple{Vals: vals, Var: v, Weight: weight})
+	if err != nil {
+		return 0, err
+	}
+	db.vars = append(db.vars, VarRef{Rel: rel, Pos: pos})
+	return v, nil
+}
+
+// MustInsert is Insert but panics on error.
+func (db *Database) MustInsert(rel string, weight float64, vals ...Value) int {
+	v, err := db.Insert(rel, weight, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustInsertDet is InsertDet but panics on error.
+func (db *Database) MustInsertDet(rel string, vals ...Value) {
+	if err := db.InsertDet(rel, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// NumVars returns the number of Boolean variables (probabilistic tuples).
+func (db *Database) NumVars() int { return len(db.vars) }
+
+// VarRef returns the location of variable v.
+func (db *Database) VarRef(v int) (VarRef, error) {
+	if v < 1 || v > len(db.vars) {
+		return VarRef{}, fmt.Errorf("engine: variable %d out of range", v)
+	}
+	return db.vars[v-1], nil
+}
+
+// VarTuple returns the tuple behind variable v.
+func (db *Database) VarTuple(v int) (rel string, t Tuple, err error) {
+	ref, err := db.VarRef(v)
+	if err != nil {
+		return "", Tuple{}, err
+	}
+	return ref.Rel, db.rels[ref.Rel].Tuples[ref.Pos], nil
+}
+
+// Weight returns the weight (odds) of variable v.
+func (db *Database) Weight(v int) float64 {
+	ref := db.vars[v-1]
+	return db.rels[ref.Rel].Tuples[ref.Pos].Weight
+}
+
+// SetWeight overrides the weight of variable v.
+func (db *Database) SetWeight(v int, w float64) {
+	ref := db.vars[v-1]
+	db.rels[ref.Rel].Tuples[ref.Pos].Weight = w
+}
+
+// Prob returns the marginal probability of variable v: w/(1+w).
+func (db *Database) Prob(v int) float64 { return WeightToProb(db.Weight(v)) }
+
+// Probs returns a slice indexed by variable id (entry 0 unused) with the
+// marginal probability of every variable. This is the vector exact inference
+// methods consume; entries may be negative.
+func (db *Database) Probs() []float64 {
+	ps := make([]float64, len(db.vars)+1)
+	for i := range db.vars {
+		ps[i+1] = db.Prob(i + 1)
+	}
+	return ps
+}
+
+// ActiveDomain returns the sorted set of all values appearing anywhere in the
+// database.
+func (db *Database) ActiveDomain() []Value {
+	seen := map[string]Value{}
+	for _, name := range db.order {
+		for _, t := range db.rels[name].Tuples {
+			for _, v := range t.Vals {
+				seen[v.Key()] = v
+			}
+		}
+	}
+	out := make([]Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Stats summarizes the database: per-relation tuple counts.
+type Stats struct {
+	Relation      string
+	Deterministic bool
+	Tuples        int
+}
+
+// Stats returns per-relation statistics in creation order.
+func (db *Database) Stats() []Stats {
+	out := make([]Stats, 0, len(db.order))
+	for _, name := range db.order {
+		r := db.rels[name]
+		out = append(out, Stats{Relation: name, Deterministic: r.Deterministic, Tuples: len(r.Tuples)})
+	}
+	return out
+}
+
+// Clone deep-copies the database: relations, tuples and the variable
+// registry. Indexes are rebuilt lazily on the copy. The clone shares no
+// mutable state with the original, so the MarkoView translation can extend
+// it with NV relations without touching the source MVDB.
+func (db *Database) Clone() *Database {
+	out := &Database{
+		rels:  make(map[string]*Relation, len(db.rels)),
+		order: append([]string(nil), db.order...),
+		vars:  append([]VarRef(nil), db.vars...),
+	}
+	for name, r := range db.rels {
+		nr := &Relation{
+			Name:          r.Name,
+			Cols:          append([]string(nil), r.Cols...),
+			Deterministic: r.Deterministic,
+			Tuples:        make([]Tuple, len(r.Tuples)),
+			byKey:         make(map[string]int, len(r.byKey)),
+			indexes:       make(map[int]colIndex),
+		}
+		for i, t := range r.Tuples {
+			nr.Tuples[i] = Tuple{Vals: append([]Value(nil), t.Vals...), Var: t.Var, Weight: t.Weight}
+		}
+		for k, v := range r.byKey {
+			nr.byKey[k] = v
+		}
+		out.rels[name] = nr
+	}
+	return out
+}

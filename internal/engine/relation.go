@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Deterministic is the weight of a deterministic tuple: infinite odds,
+// probability 1.
+var Deterministic = math.Inf(1)
+
+// Tuple is a row of a relation. Var is the Boolean variable attached to a
+// probabilistic tuple (0 for deterministic tuples), Weight its odds.
+type Tuple struct {
+	Vals   []Value
+	Var    int
+	Weight float64
+}
+
+// Prob converts the tuple's weight (odds) to a marginal probability
+// p = w/(1+w). Deterministic tuples have probability 1. Negative weights
+// yield the (valid in this framework) negative probability 1 - 1/(1+w); for
+// w = -1 the translation is degenerate and Prob returns -Inf.
+func (t Tuple) Prob() float64 {
+	return WeightToProb(t.Weight)
+}
+
+// WeightToProb converts odds to probability: p = w/(1+w).
+func WeightToProb(w float64) float64 {
+	if math.IsInf(w, 1) {
+		return 1
+	}
+	return w / (1 + w)
+}
+
+// ProbToWeight converts probability to odds: w = p/(1-p).
+func ProbToWeight(p float64) float64 {
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return p / (1 - p)
+}
+
+// Relation is a named table. Probabilistic relations hold weighted tuples;
+// deterministic relations hold tuples with Weight = Deterministic and Var 0.
+type Relation struct {
+	Name          string
+	Cols          []string
+	Deterministic bool
+	Tuples        []Tuple
+
+	byKey   map[string]int   // full tuple key -> index in Tuples
+	indexes map[int]colIndex // column -> value key -> tuple indexes
+	sorted  map[int][]int    // column -> tuple indexes ordered by value
+}
+
+type colIndex map[string][]int
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Cols) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Lookup returns the index of the tuple with exactly the given values, or -1.
+func (r *Relation) Lookup(vals []Value) int {
+	if i, ok := r.byKey[TupleKey(vals)]; ok {
+		return i
+	}
+	return -1
+}
+
+// insert appends a tuple, rejecting duplicates (every relation has a key; we
+// take the full tuple as key, as the paper does when no natural key exists).
+func (r *Relation) insert(t Tuple) (int, error) {
+	if len(t.Vals) != len(r.Cols) {
+		return 0, fmt.Errorf("engine: relation %s has arity %d, got %d values", r.Name, len(r.Cols), len(t.Vals))
+	}
+	key := TupleKey(t.Vals)
+	if _, dup := r.byKey[key]; dup {
+		return 0, fmt.Errorf("engine: duplicate tuple %s%s", r.Name, FormatTuple(t.Vals))
+	}
+	idx := len(r.Tuples)
+	r.Tuples = append(r.Tuples, t)
+	r.byKey[key] = idx
+	for col, ix := range r.indexes {
+		k := t.Vals[col].Key()
+		ix[k] = append(ix[k], idx)
+	}
+	// Sorted indexes are rebuilt lazily; SortedIndex detects staleness by
+	// length, so just leave them.
+	return idx, nil
+}
+
+// EnsureIndex builds (once) a hash index on the given column and returns it.
+func (r *Relation) EnsureIndex(col int) colIndex {
+	if ix, ok := r.indexes[col]; ok {
+		return ix
+	}
+	ix := make(colIndex)
+	for i, t := range r.Tuples {
+		k := t.Vals[col].Key()
+		ix[k] = append(ix[k], i)
+	}
+	r.indexes[col] = ix
+	return ix
+}
+
+// MatchingIndexes returns the indexes of tuples whose value in column col
+// equals v, using (and building if needed) the hash index.
+func (r *Relation) MatchingIndexes(col int, v Value) []int {
+	return r.EnsureIndex(col)[v.Key()]
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SortedIndex returns (building and caching on first use) the tuple indexes
+// of the relation ordered by the value in the given column.
+func (r *Relation) SortedIndex(col int) []int {
+	if r.sorted == nil {
+		r.sorted = map[int][]int{}
+	}
+	if ix, ok := r.sorted[col]; ok && len(ix) == len(r.Tuples) {
+		return ix
+	}
+	ix := make([]int, len(r.Tuples))
+	for i := range ix {
+		ix[i] = i
+	}
+	sort.Slice(ix, func(a, b int) bool {
+		return r.Tuples[ix[a]].Vals[col].Compare(r.Tuples[ix[b]].Vals[col]) < 0
+	})
+	r.sorted[col] = ix
+	return ix
+}
+
+// RangeScan returns the indexes of tuples whose value in col lies in the
+// interval formed by the optional bounds. A nil bound is unbounded; the
+// booleans make each bound inclusive.
+func (r *Relation) RangeScan(col int, lo *Value, loIncl bool, hi *Value, hiIncl bool) []int {
+	ix := r.SortedIndex(col)
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(ix), func(i int) bool {
+			c := r.Tuples[ix[i]].Vals[col].Compare(*lo)
+			if loIncl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ix)
+	if hi != nil {
+		end = sort.Search(len(ix), func(i int) bool {
+			c := r.Tuples[ix[i]].Vals[col].Compare(*hi)
+			if hiIncl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	return ix[start:end]
+}

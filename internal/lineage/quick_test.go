@@ -1,0 +1,130 @@
+package lineage
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randDNF is a quick.Generator for random monotone DNFs over ≤ 6 variables.
+type randDNF struct {
+	NumVars int
+	D       DNF
+}
+
+// Generate implements quick.Generator.
+func (randDNF) Generate(rng *rand.Rand, size int) reflect.Value {
+	nv := 1 + rng.Intn(6)
+	d := make(DNF, rng.Intn(6))
+	for i := range d {
+		term := make([]int, 1+rng.Intn(4))
+		for j := range term {
+			term[j] = 1 + rng.Intn(nv)
+		}
+		d[i] = term
+	}
+	return reflect.ValueOf(randDNF{NumVars: nv, D: d})
+}
+
+func equalOnAllAssignments(nv int, a, b DNF) bool {
+	for mask := 0; mask < 1<<uint(nv); mask++ {
+		assign := func(v int) bool { return mask&(1<<uint(v-1)) != 0 }
+		if a.Eval(assign) != b.Eval(assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickNormalizeSemantics: Normalize never changes the Boolean function.
+func TestQuickNormalizeSemantics(t *testing.T) {
+	f := func(c randDNF) bool {
+		return equalOnAllAssignments(c.NumVars, c.D, c.D.Normalize())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalizeIdempotent: Normalize is a canonical form.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(c randDNF) bool {
+		n := c.D.Normalize()
+		return n.Normalize().String() == n.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrSemantics: Or(a, b) evaluates as disjunction.
+func TestQuickOrSemantics(t *testing.T) {
+	f := func(c1, c2 randDNF) bool {
+		nv := c1.NumVars
+		if c2.NumVars > nv {
+			nv = c2.NumVars
+		}
+		o := Or(c1.D, c2.D)
+		for mask := 0; mask < 1<<uint(nv); mask++ {
+			assign := func(v int) bool { return mask&(1<<uint(v-1)) != 0 }
+			if o.Eval(assign) != (c1.D.Eval(assign) || c2.D.Eval(assign)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInclusionExclusion: P(a ∨ b) = P(a) + P(b) - P(a ∧ b) holds for
+// the product measure, with negative probabilities too (Section 3.3).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(c1, c2 randDNF, seed int64) bool {
+		nv := c1.NumVars
+		if c2.NumVars > nv {
+			nv = c2.NumVars
+		}
+		rng := rand.New(rand.NewSource(seed))
+		probs := make([]float64, nv+1)
+		for i := 1; i <= nv; i++ {
+			probs[i] = rng.Float64()*2 - 0.5
+		}
+		// a ∧ b as DNF: cross product of terms.
+		var and DNF
+		for _, t1 := range c1.D {
+			for _, t2 := range c2.D {
+				and = append(and, Term(append(append([]int{}, t1...), t2...)...))
+			}
+		}
+		pOr := BruteForceProb(Or(c1.D, c2.D), probs)
+		pA := BruteForceProb(c1.D, probs)
+		pB := BruteForceProb(c2.D, probs)
+		pAnd := BruteForceProb(and, probs)
+		return math.Abs(pOr-(pA+pB-pAnd)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegationRule: P(¬f) = 1 - P(f) under any probability vector.
+func TestQuickNegationRule(t *testing.T) {
+	f := func(c randDNF, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probs := make([]float64, c.NumVars+1)
+		for i := 1; i <= c.NumVars; i++ {
+			probs[i] = rng.Float64()*3 - 1
+		}
+		fm := FromDNF(c.D)
+		p := BruteForceProbFormula(fm, probs)
+		np := BruteForceProbFormula(Not{F: fm}, probs)
+		return math.Abs(p+np-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

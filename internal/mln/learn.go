@@ -1,0 +1,176 @@
+package mln
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LearnOptions configures generative weight learning.
+type LearnOptions struct {
+	Iterations   int     // gradient steps (default 200)
+	LearningRate float64 // step size on log-weights (default 0.5)
+	MinLogW      float64 // clamp for log-weights (default ±8)
+}
+
+// LearnWeights fits the soft feature weights to observed worlds by
+// gradient ascent on the exact log-likelihood. The gradient of the average
+// log-likelihood with respect to θ_k = log w_k is the classic
+//
+//	∂ℓ/∂θ_k = n̄_k(data) − E_w[n_k]
+//
+// (observed minus expected feature counts). Expectations are computed by
+// exhaustive enumeration, so this is for small networks — it is the
+// learning counterpart the paper delegates to MLN machinery ("its weights
+// can be learned as in MLNs", Section 1). Hard features (weight 0 or +Inf)
+// are kept fixed. It returns a new Network with the learned weights.
+func (n *Network) LearnWeights(data [][]bool, opts LearnOptions) (*Network, error) {
+	if n.NumVars > 20 {
+		return nil, fmt.Errorf("mln: exact learning over %d variables", n.NumVars)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("mln: no training worlds")
+	}
+	for i, w := range data {
+		if len(w) != n.NumVars+1 {
+			return nil, fmt.Errorf("mln: training world %d has length %d, want %d", i, len(w), n.NumVars+1)
+		}
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 200
+	}
+	if opts.LearningRate <= 0 {
+		opts.LearningRate = 0.5
+	}
+	if opts.MinLogW <= 0 {
+		opts.MinLogW = 8
+	}
+
+	// Observed average feature counts.
+	observed := make([]float64, len(n.Features))
+	for _, world := range data {
+		assign := func(v int) bool { return world[v] }
+		for k, f := range n.Features {
+			if isHard(f.Weight) {
+				continue
+			}
+			if f.F.Eval(assign) {
+				observed[k]++
+			}
+		}
+	}
+	for k := range observed {
+		observed[k] /= float64(len(data))
+	}
+
+	// Gradient ascent on log-weights.
+	theta := make([]float64, len(n.Features))
+	cur := make([]Feature, len(n.Features))
+	copy(cur, n.Features)
+	for k, f := range n.Features {
+		if !isHard(f.Weight) {
+			theta[k] = 0 // start at w = 1 (indifference)
+			cur[k].Weight = 1
+		}
+	}
+	work := &Network{NumVars: n.NumVars, Features: cur, vars: n.vars}
+	for it := 0; it < opts.Iterations; it++ {
+		expected, err := work.expectations()
+		if err != nil {
+			return nil, err
+		}
+		for k, f := range n.Features {
+			if isHard(f.Weight) {
+				continue
+			}
+			theta[k] += opts.LearningRate * (observed[k] - expected[k])
+			if theta[k] > opts.MinLogW {
+				theta[k] = opts.MinLogW
+			}
+			if theta[k] < -opts.MinLogW {
+				theta[k] = -opts.MinLogW
+			}
+			cur[k].Weight = math.Exp(theta[k])
+		}
+	}
+	out := make([]Feature, len(cur))
+	copy(out, cur)
+	return New(n.NumVars, out)
+}
+
+func isHard(w float64) bool { return w == 0 || math.IsInf(w, 1) }
+
+// expectations computes E[n_k] for every feature in a single enumeration
+// pass over all worlds.
+func (n *Network) expectations() ([]float64, error) {
+	z := 0.0
+	exp := make([]float64, len(n.Features))
+	sat := make([]bool, len(n.Features))
+	for mask := 0; mask < 1<<uint(n.NumVars); mask++ {
+		assign := func(v int) bool { return mask&(1<<uint(v-1)) != 0 }
+		w := 1.0
+		for k, f := range n.Features {
+			sat[k] = f.F.Eval(assign)
+			w *= featureFactor(f.Weight, sat[k])
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		z += w
+		for k := range n.Features {
+			if sat[k] {
+				exp[k] += w
+			}
+		}
+	}
+	if z == 0 {
+		return nil, fmt.Errorf("mln: partition function is zero")
+	}
+	for k := range exp {
+		exp[k] /= z
+	}
+	return exp, nil
+}
+
+// SampleWorlds draws independent worlds from the exact distribution
+// (enumeration-based inverse CDF), for testing and for generating training
+// data.
+func (n *Network) SampleWorlds(count int, seed int64) ([][]bool, error) {
+	if n.NumVars > 20 {
+		return nil, fmt.Errorf("mln: exact sampling over %d variables", n.NumVars)
+	}
+	total := 1 << uint(n.NumVars)
+	weights := make([]float64, total)
+	z := 0.0
+	for mask := 0; mask < total; mask++ {
+		w := n.WorldWeight(func(v int) bool { return mask&(1<<uint(v-1)) != 0 })
+		weights[mask] = w
+		z += w
+	}
+	if z == 0 {
+		return nil, fmt.Errorf("mln: partition function is zero")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]bool, count)
+	for i := range out {
+		r := rng.Float64() * z
+		acc := 0.0
+		mask := total - 1
+		for m, w := range weights {
+			acc += w
+			if acc >= r {
+				mask = m
+				break
+			}
+		}
+		world := make([]bool, n.NumVars+1)
+		for v := 1; v <= n.NumVars; v++ {
+			world[v] = mask&(1<<uint(v-1)) != 0
+		}
+		out[i] = world
+	}
+	return out, nil
+}

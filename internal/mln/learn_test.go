@@ -1,0 +1,99 @@
+package mln
+
+import (
+	"math"
+	"testing"
+
+	"mvdb/internal/lineage"
+)
+
+func TestLearnRecoversMarginals(t *testing.T) {
+	// Source network: two tuples with a negative correlation (Example 1 of
+	// the paper with w = 0.25).
+	src, err := New(2, []Feature{
+		{F: lineage.Var(1), Weight: 2},
+		{F: lineage.Var(2), Weight: 3},
+		{F: lineage.And{lineage.Var(1), lineage.Var(2)}, Weight: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := src.SampleWorlds(20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned, err := src.LearnWeights(data, LearnOptions{Iterations: 300, LearningRate: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare model marginals, which are identifiable.
+	for _, q := range []lineage.Formula{
+		lineage.Var(1),
+		lineage.Var(2),
+		lineage.And{lineage.Var(1), lineage.Var(2)},
+	} {
+		want, _ := src.MarginalExact(q)
+		got, _ := learned.MarginalExact(q)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("marginal of %v: learned %v source %v", q, got, want)
+		}
+	}
+}
+
+func TestLearnKeepsHardFeatures(t *testing.T) {
+	src, _ := New(2, []Feature{
+		{F: lineage.Var(1), Weight: 2},
+		{F: lineage.Var(2), Weight: 2},
+		{F: lineage.And{lineage.Var(1), lineage.Var(2)}, Weight: 0}, // hard
+	})
+	data, err := src.SampleWorlds(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned, err := src.LearnWeights(data, LearnOptions{Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.Features[2].Weight != 0 {
+		t.Errorf("hard feature weight changed to %v", learned.Features[2].Weight)
+	}
+	p, _ := learned.MarginalExact(lineage.And{lineage.Var(1), lineage.Var(2)})
+	if p != 0 {
+		t.Errorf("hard constraint violated after learning: %v", p)
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	n, _ := New(1, []Feature{{F: lineage.Var(1), Weight: 1}})
+	if _, err := n.LearnWeights(nil, LearnOptions{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := n.LearnWeights([][]bool{{true}}, LearnOptions{}); err == nil {
+		t.Error("wrong world length accepted")
+	}
+}
+
+func TestSampleWorldsDistribution(t *testing.T) {
+	n, _ := New(2, []Feature{
+		{F: lineage.Var(1), Weight: 3},
+		{F: lineage.Var(2), Weight: 1},
+	})
+	worlds, err := n.SampleWorlds(20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := 0, 0
+	for _, w := range worlds {
+		if w[1] {
+			c1++
+		}
+		if w[2] {
+			c2++
+		}
+	}
+	p1 := float64(c1) / float64(len(worlds))
+	p2 := float64(c2) / float64(len(worlds))
+	if math.Abs(p1-0.75) > 0.02 || math.Abs(p2-0.5) > 0.02 {
+		t.Errorf("empirical marginals %v, %v", p1, p2)
+	}
+}

@@ -1,0 +1,152 @@
+package mln
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MAPExact returns a most likely world (argmax of Φ) by exhaustive
+// enumeration, together with its weight. NumVars must not exceed 30. The
+// paper only evaluates marginal inference but notes the techniques
+// "easily generalize to solve the MAP inference problem as well"
+// (Section 2.3); this is the exact reference implementation.
+func (n *Network) MAPExact() ([]bool, float64, error) {
+	if n.NumVars > 30 {
+		return nil, 0, fmt.Errorf("mln: exact MAP over %d variables", n.NumVars)
+	}
+	bestMask, bestW := -1, -1.0
+	for mask := 0; mask < 1<<uint(n.NumVars); mask++ {
+		w := n.WorldWeight(func(v int) bool { return mask&(1<<uint(v-1)) != 0 })
+		if w > bestW {
+			bestW, bestMask = w, mask
+		}
+	}
+	if bestMask < 0 || bestW == 0 {
+		return nil, 0, fmt.Errorf("mln: no world with positive weight (inconsistent hard constraints)")
+	}
+	state := make([]bool, n.NumVars+1)
+	for v := 1; v <= n.NumVars; v++ {
+		state[v] = bestMask&(1<<uint(v-1)) != 0
+	}
+	return state, bestW, nil
+}
+
+// MAPOptions configures the approximate MAP search.
+type MAPOptions struct {
+	Restarts int     // independent restarts (default 5)
+	Flips    int     // flips per restart (default 50 per variable)
+	Noise    float64 // probability of a random (non-greedy) flip (default 0.2)
+	Seed     int64
+}
+
+// MAPWalk approximates the MAP world with a MaxWalkSAT-style local search
+// over log-weights: greedy flips that increase the world weight, mixed with
+// noise flips, restarted several times; hard constraints are enforced by
+// starting from a SampleSAT state and rejecting violating flips.
+func (n *Network) MAPWalk(opt MAPOptions) ([]bool, float64, error) {
+	if opt.Restarts <= 0 {
+		opt.Restarts = 5
+	}
+	if opt.Flips <= 0 {
+		opt.Flips = 50 * (n.NumVars + 1)
+	}
+	if opt.Noise == 0 {
+		opt.Noise = 0.2
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	touching := n.varFeatureIndex()
+
+	var best []bool
+	bestLogW := math.Inf(-1)
+	for restart := 0; restart < opt.Restarts; restart++ {
+		state, err := n.initialState(rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		assign := func(v int) bool { return state[v] }
+		logW := n.logWeight(assign)
+		if logW > bestLogW {
+			bestLogW = logW
+			best = append([]bool(nil), state...)
+		}
+		for flip := 0; flip < opt.Flips; flip++ {
+			v := 1 + rng.Intn(n.NumVars)
+			delta, feasible := n.flipDelta(state, v, touching)
+			if !feasible {
+				continue
+			}
+			if delta > 0 || rng.Float64() < opt.Noise {
+				state[v] = !state[v]
+				logW += delta
+				// Track the best state seen anywhere on the walk, not the
+				// (possibly noise-degraded) final state.
+				if logW > bestLogW {
+					bestLogW = logW
+					best = append([]bool(nil), state...)
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("mln: MAP search found no feasible world")
+	}
+	return best, math.Exp(bestLogW), nil
+}
+
+// logWeight computes log Φ of the current state (-Inf when a hard
+// constraint is violated).
+func (n *Network) logWeight(assign func(v int) bool) float64 {
+	logW := 0.0
+	for _, f := range n.Features {
+		sat := f.F.Eval(assign)
+		switch {
+		case math.IsInf(f.Weight, 1):
+			if !sat {
+				return math.Inf(-1)
+			}
+		case f.Weight == 0:
+			if sat {
+				return math.Inf(-1)
+			}
+		case sat:
+			logW += math.Log(f.Weight)
+		}
+	}
+	return logW
+}
+
+// flipDelta returns the change in log Φ from flipping v, and whether the
+// flip keeps all hard constraints satisfied.
+func (n *Network) flipDelta(state []bool, v int, touching [][]int) (float64, bool) {
+	assign := func(x int) bool { return state[x] }
+	delta := 0.0
+	state[v] = !state[v]
+	feasible := true
+	for _, fi := range touching[v] {
+		f := n.Features[fi]
+		after := f.F.Eval(assign)
+		state[v] = !state[v]
+		before := f.F.Eval(assign)
+		state[v] = !state[v]
+		if after == before {
+			continue
+		}
+		switch {
+		case math.IsInf(f.Weight, 1):
+			if !after {
+				feasible = false
+			}
+		case f.Weight == 0:
+			if after {
+				feasible = false
+			}
+		case after:
+			delta += math.Log(f.Weight)
+		default:
+			delta -= math.Log(f.Weight)
+		}
+	}
+	state[v] = !state[v]
+	return delta, feasible
+}

@@ -1,0 +1,198 @@
+package mvindex
+
+import (
+	"mvdb/internal/obdd"
+)
+
+// ccLayout is the cache-conscious representation of Section 4.3: the ¬W
+// OBDD nodes stored in a flat struct-of-arrays vector sorted by DFS
+// traversal order, so the online intersection walks memory mostly
+// sequentially instead of chasing node pointers. probUnder is block-local
+// (see the package comment) and block records each node's chain block.
+type ccLayout struct {
+	level     []int32   // per cc node
+	lo, hi    []int32   // cc index, or ccFalse / ccTrue
+	prob      []float64 // tuple probability at the node's level
+	probUnder []float64 // block-local
+	block     []int32   // chain block of the node
+
+	idOf map[obdd.NodeID]int32 // manager node -> cc index
+}
+
+// Terminal encodings in the flattened arrays; ccNone marks "no stop node".
+const (
+	ccFalse int32 = -1
+	ccTrue  int32 = -2
+	ccNone  int32 = -3
+)
+
+// buildCC flattens the ¬W OBDD in DFS preorder.
+func (ix *Index) buildCC() {
+	cc := &ccLayout{idOf: map[obdd.NodeID]int32{}}
+	var dfs func(u obdd.NodeID) int32
+	dfs = func(u obdd.NodeID) int32 {
+		switch u {
+		case obdd.False:
+			return ccFalse
+		case obdd.True:
+			return ccTrue
+		}
+		if id, ok := cc.idOf[u]; ok {
+			return id
+		}
+		id := int32(len(cc.level))
+		cc.idOf[u] = id
+		lvl := ix.m.NodeLevel(u)
+		cc.level = append(cc.level, lvl)
+		cc.lo = append(cc.lo, 0)
+		cc.hi = append(cc.hi, 0)
+		cc.prob = append(cc.prob, ix.probs[ix.m.VarAtLevel(int(lvl))])
+		cc.probUnder = append(cc.probUnder, ix.probUnder[u])
+		cc.block = append(cc.block, int32(ix.blockForLevel(lvl)))
+		lo := dfs(ix.m.Lo(u))
+		hi := dfs(ix.m.Hi(u))
+		cc.lo[id] = lo
+		cc.hi[id] = hi
+		return id
+	}
+	if !ix.m.IsTerminal(ix.root) {
+		dfs(ix.root)
+	}
+	ix.cc = cc
+}
+
+// intersect is CC-MVIntersect: the same recursion as MVIntersect, but the
+// ¬W side walks the flattened vector and memoization uses an open-addressed
+// table keyed by (query node, cc index) packed into one int64 — no pointer
+// chasing, no map-bucket overhead.
+func (cc *ccLayout) intersect(ix *Index, fQ obdd.NodeID, s span) float64 {
+	entry := cc.idOf[ix.chainRoots[s.first]]
+	stop := ccNone
+	if s.stop != obdd.False {
+		if id, ok := cc.idOf[s.stop]; ok {
+			stop = id
+		}
+	}
+	memo := newPairMemo(1 << 10)
+	qprob := map[obdd.NodeID]float64{}
+	return cc.rec(ix, fQ, entry, stop, memo, qprob)
+}
+
+// rec mirrors Index.intersect in conditioned units (see that method): each
+// w-side edge leaving a block divides by the block's probability.
+func (cc *ccLayout) rec(ix *Index, q obdd.NodeID, w, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
+	if q == obdd.False || w == ccFalse {
+		return 0
+	}
+	if w == ccTrue || w == stop {
+		return ix.qProb(q, qprob)
+	}
+	if q == obdd.True {
+		return cc.probUnder[w] / ix.blockProb[cc.block[w]]
+	}
+	// Non-terminal q >= 2 and w >= 0, so the packed key is never zero (the
+	// empty-slot sentinel).
+	key := int64(q)<<32 | int64(uint32(w))
+	if r, ok := memo.get(key); ok {
+		return r
+	}
+	lq, lw := ix.m.NodeLevel(q), cc.level[w]
+	var r float64
+	switch {
+	case lq < lw:
+		p := ix.probs[ix.m.VarAtLevel(int(lq))]
+		r = (1-p)*cc.rec(ix, ix.m.Lo(q), w, stop, memo, qprob) + p*cc.rec(ix, ix.m.Hi(q), w, stop, memo, qprob)
+	case lw < lq:
+		p := cc.prob[w]
+		r = (1-p)*cc.wchild(ix, q, cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, q, cc.hi[w], w, stop, memo, qprob)
+	default:
+		p := cc.prob[w]
+		r = (1-p)*cc.wchild(ix, ix.m.Lo(q), cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, ix.m.Hi(q), cc.hi[w], w, stop, memo, qprob)
+	}
+	memo.put(key, r)
+	return r
+}
+
+// wchild evaluates a w-side child edge, dividing by the parent block's
+// probability when the edge leaves the block.
+func (cc *ccLayout) wchild(ix *Index, q obdd.NodeID, c, parent, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
+	if q == obdd.False || c == ccFalse {
+		return 0
+	}
+	b := ix.blockProb[cc.block[parent]]
+	if c == ccTrue || c == stop {
+		return ix.qProb(q, qprob) / b
+	}
+	val := cc.rec(ix, q, c, stop, memo, qprob)
+	if cc.block[c] > cc.block[parent] {
+		val /= b
+	}
+	return val
+}
+
+// pairMemo is a linear-probing hash table from packed (q,w) keys to
+// probabilities. Key 0 marks an empty slot.
+type pairMemo struct {
+	keys []int64
+	vals []float64
+	mask uint64
+	n    int
+}
+
+func newPairMemo(capacity int) *pairMemo {
+	if capacity < 16 {
+		capacity = 16
+	}
+	// round up to a power of two
+	c := 16
+	for c < capacity {
+		c <<= 1
+	}
+	return &pairMemo{keys: make([]int64, c), vals: make([]float64, c), mask: uint64(c - 1)}
+}
+
+func (m *pairMemo) slot(key int64) uint64 {
+	return (uint64(key) * 0x9E3779B97F4A7C15) >> 32 & m.mask
+}
+
+func (m *pairMemo) get(key int64) (float64, bool) {
+	for i := m.slot(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			return m.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+func (m *pairMemo) put(key int64, v float64) {
+	if m.n*4 >= len(m.keys)*3 { // 75% load factor
+		m.grow()
+	}
+	for i := m.slot(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			m.vals[i] = v
+			return
+		case 0:
+			m.keys[i] = key
+			m.vals[i] = v
+			m.n++
+			return
+		}
+	}
+}
+
+func (m *pairMemo) grow() {
+	old := *m
+	m.keys = make([]int64, len(old.keys)*2)
+	m.vals = make([]float64, len(old.vals)*2)
+	m.mask = uint64(len(m.keys) - 1)
+	m.n = 0
+	for i, k := range old.keys {
+		if k != 0 {
+			m.put(k, old.vals[i])
+		}
+	}
+}

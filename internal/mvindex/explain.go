@@ -1,0 +1,125 @@
+package mvindex
+
+import (
+	"fmt"
+
+	"mvdb/internal/lineage"
+	"mvdb/internal/obdd"
+	"mvdb/internal/ucq"
+)
+
+// Explain describes how one intersection ran — the observable counterpart
+// of Proposition 3 (runtime O(span · width)).
+type Explain struct {
+	QuerySize    int // nodes of the query OBDD
+	QueryVars    int // variables in the query lineage
+	EntryBlock   int // chain block the traversal entered at
+	LastBlock    int // chain block of the query's last variable
+	Blocks       int // total chain blocks in the index
+	SpanLevels   int // levels between the query's first and last variable
+	IndexLevels  int // total levels in the index
+	PairsVisited int // memoized (query node, index node) pairs touched
+	Prob         float64
+}
+
+func (e Explain) String() string {
+	return fmt.Sprintf("query: %d nodes / %d vars; blocks %d-%d of %d; span %d of %d levels; %d pairs visited; P = %.6g",
+		e.QuerySize, e.QueryVars, e.EntryBlock, e.LastBlock, e.Blocks, e.SpanLevels, e.IndexLevels, e.PairsVisited, e.Prob)
+}
+
+// ExplainBoolean evaluates P(Q) like ProbBoolean and reports traversal
+// statistics (always with the entry shortcut, MVIntersect layout).
+func (ix *Index) ExplainBoolean(q ucq.UCQ) (Explain, error) {
+	linQ, err := ucq.EvalBoolean(ix.tr.DB, q)
+	if err != nil {
+		return Explain{}, err
+	}
+	return ix.ExplainLineage(linQ)
+}
+
+// ExplainLineage is ExplainBoolean for a precomputed lineage.
+func (ix *Index) ExplainLineage(linQ lineage.DNF) (Explain, error) {
+	if ix.pNotWSign == 0 {
+		return Explain{}, fmt.Errorf("mvindex: P0(¬W) = 0 — inconsistent MarkoViews")
+	}
+	ex := Explain{
+		Blocks:      ix.Blocks(),
+		IndexLevels: ix.m.NumVars(),
+		QueryVars:   len(linQ.Vars()),
+	}
+	if linQ.IsFalse() {
+		return ex, nil
+	}
+	fQ := obdd.BuildDNF(ix.m, linQ)
+	ex.QuerySize = ix.m.Size(fQ)
+	if fQ == obdd.True {
+		ex.Prob = 1
+		return ex, nil
+	}
+	if span := int(ix.m.MaxLevel(fQ)) - int(ix.m.NodeLevel(fQ)) + 1; span > 0 {
+		ex.SpanLevels = span
+	}
+	if ix.m.IsTerminal(ix.root) {
+		ex.Prob = ix.qProb(fQ, map[obdd.NodeID]float64{})
+		return ex, nil
+	}
+	s := ix.spanFor(fQ, IntersectOptions{})
+	ex.EntryBlock, ex.LastBlock = s.first, s.last
+	memo := map[[2]obdd.NodeID]float64{}
+	qprob := map[obdd.NodeID]float64{}
+	ex.Prob = ix.intersect(fQ, ix.chainRoots[s.first], s, memo, qprob)
+	ex.PairsVisited = len(memo)
+	return ex, nil
+}
+
+// TupleMarginal computes the marginal probability of one probabilistic
+// tuple under the MVDB semantics: P(X_t) = P0(X_t ∧ ¬W) / P0(¬W). This is
+// the paper's motivating use case — reading off the corrected likelihood of
+// an inferred fact (an advisor edge, an affiliation) after the MarkoViews
+// reweight it.
+func (ix *Index) TupleMarginal(v int) (float64, error) {
+	if ix.m.Level(v) < 0 {
+		return 0, fmt.Errorf("mvindex: variable %d not in the index order", v)
+	}
+	return ix.IntersectOBDD(ix.m.Var(v), IntersectOptions{CacheConscious: true})
+}
+
+// AllTupleMarginals computes the corrected marginal probability of every
+// probabilistic tuple in one pass over the augmented OBDD. For a variable v
+// whose nodes u₁..u_c all sit in chain block k (IntraBddIndex), with
+// block-local reach/probUnder and block probability b_k:
+//
+//	P(X_v) = [Σᵢ reach(uᵢ)·p_v·probUnder(hi(uᵢ)) + p_v·(b_k − Σᵢ reach(uᵢ)·probUnder(uᵢ))] / b_k
+//
+// — the first sum covers accepting paths through v's nodes, the second term
+// the accepting block mass on paths that skip v's level (where v is free);
+// all other blocks cancel in the ratio. Variables not in the index are
+// independent of the views and keep their prior. The result is indexed by
+// variable id; entry 0 is unused.
+func (ix *Index) AllTupleMarginals() ([]float64, error) {
+	if ix.pNotWSign == 0 {
+		return nil, fmt.Errorf("mvindex: P0(¬W) = 0 — inconsistent MarkoViews")
+	}
+	out := make([]float64, len(ix.probs))
+	for v := 1; v < len(ix.probs); v++ {
+		p := ix.probs[v]
+		nodes := ix.varNodes[v]
+		if len(nodes) == 0 {
+			out[v] = p // not constrained by any view
+			continue
+		}
+		k := ix.varBlock[v]
+		bk := ix.blockProb[k]
+		if bk == 0 {
+			return nil, fmt.Errorf("mvindex: block %d has probability 0 — inconsistent MarkoViews", k)
+		}
+		through := 0.0 // accepting block mass through v's nodes with v = 1
+		touched := 0.0 // total block mass through v's nodes
+		for _, u := range nodes {
+			through += ix.reach[u] * p * ix.childLocal(ix.m.Hi(u), k)
+			touched += ix.reach[u] * ix.probUnder[u]
+		}
+		out[v] = (through + p*(bk-touched)) / bk
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package mvindex
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/obdd"
+)
+
+// indexSnapshot is the serialized MV-index: the translated database, the
+// translation metadata, the OBDD manager, and the ¬W root. The augmentation
+// (probUnder, reachability, chain blocks, indices, CC layout) is recomputed
+// on load — it is linear in the index size and depends on the tuple
+// weights, which keeps saved indexes valid under Reweight-style workflows.
+type indexSnapshot struct {
+	Magic       string
+	DB          engine.DatabaseSnapshot
+	Translation core.TranslationSnapshot
+	Manager     obdd.Snapshot
+	Root        int32
+}
+
+const snapshotMagic = "mvindex-v1"
+
+// Save serializes the index (including the translated database) as one
+// gob message.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	s := indexSnapshot{
+		Magic:       snapshotMagic,
+		DB:          ix.tr.DB.Snapshot(),
+		Translation: ix.tr.Snapshot(),
+		Manager:     ix.m.Snapshot(),
+		Root:        int32(ix.root),
+	}
+	if err := gob.NewEncoder(bw).Encode(s); err != nil {
+		return fmt.Errorf("mvindex: encoding index: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes an index written by Save. The returned index is
+// fully functional: the inner translation is restored and its OBDD of W is
+// attached, so no recompilation happens.
+func Read(r io.Reader) (*Index, error) {
+	var s indexSnapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("mvindex: decoding index: %w", err)
+	}
+	if s.Magic != snapshotMagic {
+		return nil, fmt.Errorf("mvindex: bad snapshot magic %q", s.Magic)
+	}
+	db, err := engine.FromSnapshot(s.DB)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.RestoreTranslation(db, s.Translation)
+	if err != nil {
+		return nil, err
+	}
+	m, err := obdd.Restore(s.Manager)
+	if err != nil {
+		return nil, err
+	}
+	root := obdd.NodeID(s.Root)
+	if root < 0 || int(root) >= m.NumNodes() {
+		return nil, fmt.Errorf("mvindex: snapshot root %d out of range", root)
+	}
+	// ¬W's root is stored; W = ¬¬W.
+	tr.AttachOBDD(m, m.Not(root))
+	return Build(tr)
+}
+
+// SaveFile writes the index to a file.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from a file.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

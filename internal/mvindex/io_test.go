@@ -1,0 +1,136 @@
+package mvindex
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/ucq"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	m := chainMVDB(25, 9)
+	tr, ix := buildIndex(t, m)
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != ix.Size() || back.Blocks() != ix.Blocks() {
+		t.Errorf("size/blocks: %d/%d vs %d/%d", back.Size(), back.Blocks(), ix.Size(), ix.Blocks())
+	}
+	if math.Abs(back.ProbNotW()-ix.ProbNotW()) > 1e-12 {
+		t.Errorf("P(¬W): %v vs %v", back.ProbNotW(), ix.ProbNotW())
+	}
+	// Query answers are identical through the loaded index.
+	q := ucq.MustParse("Q(s) :- Adv(s,a)")
+	want, err := tr.Query(q, core.MethodOBDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []bool{false, true} {
+		got, err := back.Query(q, IntersectOptions{CacheConscious: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rows: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Prob-want[i].Prob) > 1e-9 {
+				t.Errorf("cc=%v row %v: %v vs %v", cc, got[i].Head, got[i].Prob, want[i].Prob)
+			}
+		}
+	}
+}
+
+func TestIndexLoadCorrupt(t *testing.T) {
+	if _, err := Read(strings.NewReader("garbage")); err == nil {
+		t.Error("corrupt index accepted")
+	}
+	// Truncated stream.
+	m := chainMVDB(5, 1)
+	_, ix := buildIndex(t, m)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated index accepted")
+	}
+}
+
+func TestIndexSaveLoadFile(t *testing.T) {
+	m := chainMVDB(8, 2)
+	_, ix := buildIndex(t, m)
+	path := t.TempDir() + "/test.mvx"
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != ix.Size() {
+		t.Errorf("size %d vs %d", back.Size(), ix.Size())
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReweight(t *testing.T) {
+	m := chainMVDB(6, 4)
+	tr, ix := buildIndex(t, m)
+	q := ucq.MustParse("Q() :- Adv(1,a)")
+	before, err := ix.ProbBoolean(q.UCQ, IntersectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double every Advisor tuple weight in the translated database.
+	adv := tr.DB.Relation("Adv")
+	for _, tup := range adv.Tuples {
+		tr.DB.SetWeight(tup.Var, tup.Weight*2)
+	}
+	ix.Reweight()
+	after, err := ix.ProbBoolean(q.UCQ, IntersectOptions{CacheConscious: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after-before) < 1e-9 {
+		t.Error("reweight had no effect")
+	}
+	// The reweighted index must agree with a freshly built one.
+	fresh, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.ProbBoolean(q.UCQ, IntersectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after-want) > 1e-9 {
+		t.Errorf("reweighted = %v fresh = %v", after, want)
+	}
+}
+
+func TestRestoreTranslationValidation(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	snap := core.TranslationSnapshot{NVRelations: []string{"NV_missing"}}
+	if _, err := core.RestoreTranslation(db, snap); err == nil {
+		t.Error("missing NV relation accepted")
+	}
+	q := ucq.MustParse("Q() :- Missing(x)")
+	snap = core.TranslationSnapshot{W: q.UCQ}
+	if _, err := core.RestoreTranslation(db, snap); err == nil {
+		t.Error("missing W relation accepted")
+	}
+}

@@ -1,0 +1,500 @@
+// Package mvindex implements the MV-index of Section 4: the OBDD of ¬W
+// augmented with per-node precomputations — probUnder (the probability of
+// the sub-OBDD) and reachability (the probability mass of root-to-node
+// paths) — plus the indices that let online query evaluation start at the
+// first block the query touches:
+//
+//   - InterBddIndex: tuple variable → chain block containing it;
+//   - IntraBddIndex: tuple variable → OBDD nodes labeled with it.
+//
+// Two intersection algorithms compute P(Q) = P0(ΦQ ∧ ¬W)/P0(¬W):
+// MVIntersect, a top-down memoized pairwise traversal, and CC-MVIntersect,
+// the cache-conscious variant that lays the OBDD out as a flat vector in
+// DFS order (Sect. 4.3).
+//
+// # Numerical stability at scale
+//
+// ¬W is a conjunction of thousands of per-separator-value blocks, so the
+// global P0(¬W) (and every global probUnder/reachability value) is a
+// product of thousands of factors: it underflows or overflows float64 long
+// before the paper's data sizes, and the negative probabilities of the
+// translation rule out log-space tricks. The index therefore stores all
+// augmented quantities *block-locally*: probUnder treats the next chain
+// root as the True terminal, reachability restarts at 1 at every chain
+// root, and each block k records its own probability b_k = P0(C_k). In
+// Theorem 1's ratio the prefix and suffix block products cancel
+// analytically, so online evaluation only ever multiplies the b_k of the
+// few blocks the query touches.
+package mvindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mvdb/internal/core"
+	"mvdb/internal/lineage"
+	"mvdb/internal/obdd"
+	"mvdb/internal/ucq"
+)
+
+// Index is a compiled MV-index over a Translation.
+type Index struct {
+	tr    *core.Translation
+	m     *obdd.Manager
+	root  obdd.NodeID // OBDD of ¬W
+	probs []float64
+
+	// Block-local augmentation (see the package comment).
+	probUnder map[obdd.NodeID]float64 // local: next chain root counts as True
+	reach     map[obdd.NodeID]float64 // local: restarts at 1 at each chain root
+
+	// Chain blocks: convergence points every accepting path passes, in
+	// level order. chainRoots[0] is the root.
+	chainRoots  []obdd.NodeID
+	chainLevels []int32
+	blockProb   []float64 // b_k = local probUnder at chainRoots[k]
+
+	// P0(¬W) = Π_k b_k in log-sign form (the float64 product may not be
+	// representable).
+	pNotWLog  float64 // Σ log|b_k|; -Inf when some b_k = 0
+	pNotWSign int
+
+	varNodes map[int][]obdd.NodeID // IntraBddIndex
+	varBlock map[int]int           // InterBddIndex: variable -> chain block
+
+	cc *ccLayout
+}
+
+// Build compiles the MV-index for a translation: it reuses the translation's
+// compiled OBDD of W (separator-first order), negates it, and computes the
+// block-local augmentation.
+func Build(tr *core.Translation) (*Index, error) {
+	m, fW, err := tr.OBDD()
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		tr:    tr,
+		m:     m,
+		root:  m.Not(fW),
+		probs: tr.DB.Probs(),
+	}
+	ix.rebuild()
+	return ix, nil
+}
+
+// rebuild computes every derived structure from (m, root, probs).
+func (ix *Index) rebuild() {
+	ix.probUnder = map[obdd.NodeID]float64{obdd.False: 0, obdd.True: 1}
+	ix.reach = map[obdd.NodeID]float64{}
+	ix.varNodes = map[int][]obdd.NodeID{}
+	ix.varBlock = map[int]int{}
+	ix.chainRoots, ix.chainLevels, ix.blockProb = nil, nil, nil
+	ix.findChain()
+	ix.augment()
+	ix.pNotWLog, ix.pNotWSign = 0, 1
+	for _, b := range ix.blockProb {
+		if b == 0 {
+			ix.pNotWLog = math.Inf(-1)
+			ix.pNotWSign = 0
+			break
+		}
+		ix.pNotWLog += math.Log(math.Abs(b))
+		if b < 0 {
+			ix.pNotWSign = -ix.pNotWSign
+		}
+	}
+	if ix.m.IsTerminal(ix.root) {
+		if ix.root == obdd.False {
+			ix.pNotWLog, ix.pNotWSign = math.Inf(-1), 0
+		} else {
+			ix.pNotWLog, ix.pNotWSign = 0, 1
+		}
+	}
+	ix.buildCC()
+}
+
+// nextRoot returns the chain root following block k, or False when k is the
+// last block (no boundary node).
+func (ix *Index) nextRoot(k int) obdd.NodeID {
+	if k+1 < len(ix.chainRoots) {
+		return ix.chainRoots[k+1]
+	}
+	return obdd.False // sentinel: never matches an internal node below
+}
+
+// augment computes the block-local probUnder and reachability and fills the
+// IntraBddIndex.
+func (ix *Index) augment() {
+	if ix.m.IsTerminal(ix.root) {
+		return
+	}
+	nodes := ix.m.Reachable(ix.root)
+	// Level order: parents before children (edges strictly increase levels).
+	sort.Slice(nodes, func(i, j int) bool {
+		return ix.m.NodeLevel(nodes[i]) < ix.m.NodeLevel(nodes[j])
+	})
+	// Local probUnder, bottom-up: the child value of the next chain root is
+	// taken as 1 (the suffix blocks factor out).
+	for i := len(nodes) - 1; i >= 0; i-- {
+		u := nodes[i]
+		k := ix.blockForLevel(ix.m.NodeLevel(u))
+		p := ix.probs[ix.m.VarAtLevel(int(ix.m.NodeLevel(u)))]
+		ix.probUnder[u] = (1-p)*ix.childLocal(ix.m.Lo(u), k) + p*ix.childLocal(ix.m.Hi(u), k)
+	}
+	ix.blockProb = make([]float64, len(ix.chainRoots))
+	for k, r := range ix.chainRoots {
+		ix.blockProb[k] = ix.probUnder[r]
+	}
+	// Local reachability, top-down: restarts at 1 on every chain root;
+	// edges that cross into the next chain root are dropped.
+	for _, u := range nodes {
+		ix.reach[u] = 0
+	}
+	for _, r := range ix.chainRoots {
+		ix.reach[r] = 1
+	}
+	for _, u := range nodes {
+		r := ix.reach[u]
+		k := ix.blockForLevel(ix.m.NodeLevel(u))
+		next := ix.nextRoot(k)
+		p := ix.probs[ix.m.VarAtLevel(int(ix.m.NodeLevel(u)))]
+		if lo := ix.m.Lo(u); !ix.m.IsTerminal(lo) && lo != next {
+			ix.reach[lo] += r * (1 - p)
+		}
+		if hi := ix.m.Hi(u); !ix.m.IsTerminal(hi) && hi != next {
+			ix.reach[hi] += r * p
+		}
+	}
+	for _, u := range nodes {
+		v := ix.m.VarAtLevel(int(ix.m.NodeLevel(u)))
+		ix.varNodes[v] = append(ix.varNodes[v], u)
+	}
+	for v := range ix.varNodes {
+		ix.varBlock[v] = ix.blockForLevel(int32(ix.m.Level(v)))
+	}
+}
+
+// childLocal evaluates a child reference during block-local probUnder
+// computation for a node in block k: the next chain root counts as True.
+func (ix *Index) childLocal(c obdd.NodeID, k int) float64 {
+	switch c {
+	case obdd.False:
+		return 0
+	case obdd.True:
+		return 1
+	}
+	if c == ix.nextRoot(k) {
+		return 1
+	}
+	return ix.probUnder[c]
+}
+
+// findChain locates the convergence points of the OBDD with a level-ordered
+// sweep: whenever the frontier of discovered-but-unprocessed nodes has
+// exactly one element, every accepting path passes through it. These are
+// the block boundaries of the concatenated per-separator-value OBDDs.
+func (ix *Index) findChain() {
+	if ix.m.IsTerminal(ix.root) {
+		return
+	}
+	type qnode struct {
+		id    obdd.NodeID
+		level int32
+	}
+	pendingSet := map[obdd.NodeID]bool{ix.root: true}
+	pending := []qnode{{ix.root, ix.m.NodeLevel(ix.root)}}
+	pop := func() obdd.NodeID {
+		best := 0
+		for i := 1; i < len(pending); i++ {
+			if pending[i].level < pending[best].level {
+				best = i
+			}
+		}
+		u := pending[best].id
+		pending[best] = pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		delete(pendingSet, u)
+		return u
+	}
+	// A singleton frontier proves convergence only while no processed node
+	// had an edge to the True terminal: such an edge is an accepting path
+	// that bypasses everything below, breaking the D ∧ C decomposition that
+	// the block factorization relies on.
+	seenTrueEdge := false
+	for len(pending) > 0 {
+		if len(pending) == 1 && !seenTrueEdge {
+			u := pending[0].id
+			ix.chainRoots = append(ix.chainRoots, u)
+			ix.chainLevels = append(ix.chainLevels, ix.m.NodeLevel(u))
+		}
+		u := pop()
+		for _, c := range []obdd.NodeID{ix.m.Lo(u), ix.m.Hi(u)} {
+			if c == obdd.True {
+				seenTrueEdge = true
+			}
+			if !ix.m.IsTerminal(c) && !pendingSet[c] {
+				pendingSet[c] = true
+				pending = append(pending, qnode{c, ix.m.NodeLevel(c)})
+			}
+		}
+	}
+}
+
+// blockForLevel returns the index of the last chain root whose level is <=
+// the given level (the block containing that level).
+func (ix *Index) blockForLevel(level int32) int {
+	lo, hi := 0, len(ix.chainRoots)-1
+	best := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if ix.chainLevels[mid] <= level {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best
+}
+
+// ProbNotW returns P0(¬W) = 1 - P0(W) as a float64. At large scale this is
+// a product of thousands of block probabilities and may underflow to 0 (or
+// overflow) even though the index answers queries exactly; use LogProbNotW
+// for the representable form.
+func (ix *Index) ProbNotW() float64 {
+	return float64(ix.pNotWSign) * math.Exp(ix.pNotWLog)
+}
+
+// LogProbNotW returns P0(¬W) as (log|·|, sign); sign 0 means exactly zero
+// (the MarkoViews are inconsistent).
+func (ix *Index) LogProbNotW() (logAbs float64, sign int) {
+	return ix.pNotWLog, ix.pNotWSign
+}
+
+// Size returns the number of internal nodes of the ¬W OBDD.
+func (ix *Index) Size() int { return len(ix.reach) }
+
+// Width returns the OBDD width.
+func (ix *Index) Width() int { return ix.m.Width(ix.root) }
+
+// Blocks returns the number of chain blocks.
+func (ix *Index) Blocks() int { return len(ix.chainRoots) }
+
+// NodesOf returns the IntraBddIndex entry of a variable: the nodes of the
+// ¬W OBDD labeled with it.
+func (ix *Index) NodesOf(v int) []obdd.NodeID { return ix.varNodes[v] }
+
+// BlockOf returns the InterBddIndex entry of a variable: the chain block
+// containing it (-1 if the variable does not occur in the index).
+func (ix *Index) BlockOf(v int) int {
+	if b, ok := ix.varBlock[v]; ok {
+		return b
+	}
+	return -1
+}
+
+// Manager exposes the underlying OBDD manager (shared with the query side).
+func (ix *Index) Manager() *obdd.Manager { return ix.m }
+
+// Translation exposes the index's underlying translation (useful after
+// loading a saved index).
+func (ix *Index) Translation() *core.Translation { return ix.tr }
+
+// IntersectOptions selects the online intersection algorithm and its
+// shortcuts.
+type IntersectOptions struct {
+	// CacheConscious selects CC-MVIntersect (flattened DFS-order layout).
+	CacheConscious bool
+	// NoEntryShortcut disables the InterBddIndex entry into the first block
+	// the query touches — an ablation that forces the traversal to start at
+	// the root block.
+	NoEntryShortcut bool
+}
+
+// span describes the blocks one query touches.
+type span struct {
+	first, last int // block range [first, last]
+	stop        obdd.NodeID
+}
+
+// spanFor computes the block span of a query OBDD.
+func (ix *Index) spanFor(fQ obdd.NodeID, opts IntersectOptions) span {
+	s := span{first: 0, last: len(ix.chainRoots) - 1}
+	if !opts.NoEntryShortcut {
+		s.first = ix.blockForLevel(ix.m.NodeLevel(fQ))
+	}
+	s.last = ix.blockForLevel(ix.m.MaxLevel(fQ))
+	if s.last < s.first {
+		s.last = s.first
+	}
+	s.stop = ix.nextRoot(s.last)
+	return s
+}
+
+// IntersectLineage computes P(Q) = P0(ΦQ ∧ ¬W) / P0(¬W) for a query
+// lineage. The prefix and suffix blocks outside the query's span cancel in
+// the ratio, so only the touched blocks' probabilities enter the
+// computation.
+func (ix *Index) IntersectLineage(linQ lineage.DNF, opts IntersectOptions) (float64, error) {
+	if linQ.IsFalse() {
+		return 0, nil
+	}
+	fQ := obdd.BuildDNF(ix.m, linQ)
+	return ix.IntersectOBDD(fQ, opts)
+}
+
+// IntersectOBDD computes P(Q) = P0(ΦQ ∧ ¬W) / P0(¬W) for a query OBDD built
+// on the shared manager.
+func (ix *Index) IntersectOBDD(fQ obdd.NodeID, opts IntersectOptions) (float64, error) {
+	if ix.pNotWSign == 0 {
+		return 0, fmt.Errorf("mvindex: P0(¬W) = 0 — inconsistent MarkoViews")
+	}
+	if fQ == obdd.False {
+		return 0, nil
+	}
+	if fQ == obdd.True {
+		return 1, nil
+	}
+	if ix.m.IsTerminal(ix.root) {
+		// No constraints: P(Q) = P0(ΦQ).
+		return ix.qProb(fQ, map[obdd.NodeID]float64{}), nil
+	}
+	s := ix.spanFor(fQ, opts)
+	if opts.CacheConscious {
+		return ix.cc.intersect(ix, fQ, s), nil
+	}
+	memo := map[[2]obdd.NodeID]float64{}
+	qprob := map[obdd.NodeID]float64{}
+	return ix.intersect(fQ, ix.chainRoots[s.first], s, memo, qprob), nil
+}
+
+// intersect is MVIntersect in conditioned units: it returns
+// P0(ΦQ ∧ C_{block(w)..last} | paths reaching w) / Π_{j=block(w)..last} b_j,
+// so the final call at the entry chain root directly yields Theorem 1's
+// ratio — every block division happens as its boundary is crossed, and no
+// unrepresentable global product is ever formed.
+func (ix *Index) intersect(q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
+	if q == obdd.False || w == obdd.False {
+		return 0
+	}
+	if w == s.stop || w == obdd.True {
+		// Constraints beyond the span factor out of the ratio.
+		return ix.qProb(q, qprob)
+	}
+	wBlock := ix.blockForLevel(ix.m.NodeLevel(w))
+	if q == obdd.True {
+		// Remaining constraint mass of this block (conditioned), the
+		// suffix blocks cancel.
+		return ix.probUnder[w] / ix.blockProb[wBlock]
+	}
+	key := [2]obdd.NodeID{q, w}
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	lq, lw := ix.m.NodeLevel(q), ix.m.NodeLevel(w)
+	var r float64
+	switch {
+	case lq < lw:
+		p := ix.probs[ix.m.VarAtLevel(int(lq))]
+		r = (1-p)*ix.intersect(ix.m.Lo(q), w, s, memo, qprob) + p*ix.intersect(ix.m.Hi(q), w, s, memo, qprob)
+	case lw < lq:
+		p := ix.probs[ix.m.VarAtLevel(int(lw))]
+		r = (1-p)*ix.wchild(q, ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(q, ix.m.Hi(w), wBlock, s, memo, qprob)
+	default:
+		p := ix.probs[ix.m.VarAtLevel(int(lq))]
+		r = (1-p)*ix.wchild(ix.m.Lo(q), ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(ix.m.Hi(q), ix.m.Hi(w), wBlock, s, memo, qprob)
+	}
+	memo[key] = r
+	return r
+}
+
+// wchild evaluates a w-side child edge in conditioned units: leaving block
+// wBlock (into the next chain root or the True terminal) divides by that
+// block's probability; reaching the span's stop root contributes the bare
+// query probability.
+func (ix *Index) wchild(q, c obdd.NodeID, wBlock int, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
+	if q == obdd.False || c == obdd.False {
+		return 0
+	}
+	b := ix.blockProb[wBlock]
+	if c == s.stop {
+		return ix.qProb(q, qprob) / b
+	}
+	if c == obdd.True {
+		return ix.qProb(q, qprob) / b
+	}
+	val := ix.intersect(q, c, s, memo, qprob)
+	if ix.blockForLevel(ix.m.NodeLevel(c)) > wBlock {
+		val /= b
+	}
+	return val
+}
+
+func (ix *Index) qProb(q obdd.NodeID, memo map[obdd.NodeID]float64) float64 {
+	switch q {
+	case obdd.False:
+		return 0
+	case obdd.True:
+		return 1
+	}
+	if p, ok := memo[q]; ok {
+		return p
+	}
+	pv := ix.probs[ix.m.VarAtLevel(int(ix.m.NodeLevel(q)))]
+	r := (1-pv)*ix.qProb(ix.m.Lo(q), memo) + pv*ix.qProb(ix.m.Hi(q), memo)
+	memo[q] = r
+	return r
+}
+
+// ProbBoolean evaluates P(Q) through the index.
+func (ix *Index) ProbBoolean(q ucq.UCQ, opts IntersectOptions) (float64, error) {
+	linQ, err := ucq.EvalBoolean(ix.tr.DB, q)
+	if err != nil {
+		return 0, err
+	}
+	return ix.IntersectLineage(linQ, opts)
+}
+
+// Query evaluates a named query, one probability per answer tuple.
+func (ix *Index) Query(q *ucq.Query, opts IntersectOptions) ([]core.Answer, error) {
+	rows, err := ucq.Eval(ix.tr.DB, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Answer, 0, len(rows))
+	for _, r := range rows {
+		p, err := ix.IntersectLineage(r.Lineage, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Answer{Head: r.Head, Prob: p})
+	}
+	return out, nil
+}
+
+// Reweight refreshes the index after tuple weights changed in the
+// translated database (e.g. a learning loop updated the MVDB weights in
+// place). The OBDD structure of ¬W only depends on which tuples exist, not
+// on their weights, so only the augmentation is recomputed, in time linear
+// in the index size. Note that changing a MarkoView's weight requires
+// updating the corresponding NV tuple weight to (1-w)/w; core.Translation
+// owns that mapping.
+func (ix *Index) Reweight() {
+	ix.probs = ix.tr.DB.Probs()
+	ix.rebuild()
+}
+
+// Compact rebuilds the index on a fresh OBDD manager containing only the
+// nodes of ¬W, dropping dead intermediates left behind by compilation and
+// by per-query OBDD synthesis. Returns the number of manager nodes freed.
+func (ix *Index) Compact() int {
+	before := ix.m.NumNodes()
+	nm, roots := ix.m.Compact(ix.root)
+	ix.m = nm
+	ix.root = roots[0]
+	ix.tr.AttachOBDD(nm, nm.Not(ix.root))
+	ix.rebuild()
+	return before - nm.NumNodes()
+}

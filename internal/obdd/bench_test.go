@@ -1,0 +1,85 @@
+package obdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/ucq"
+)
+
+func benchDB(n int64) *engine.Database {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(1); i <= n; i++ {
+		db.MustInsert("R", rng.Float64()*2, engine.Int(i))
+		for j := int64(0); j < 2; j++ {
+			db.MustInsert("S", rng.Float64()*2, engine.Int(i), engine.Int(100*i+j))
+		}
+	}
+	return db
+}
+
+// BenchmarkConOBDD measures the structural (concatenation) compilation of
+// an inversion-free query.
+func BenchmarkConOBDD(b *testing.B) {
+	db := benchDB(500)
+	q := ucq.MustParse("Q() :- R(x), S(x,y)")
+	pi := IdentityPerm(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Compile(db, q.UCQ, pi, CompileOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesisFromLineage measures the CUDD-style baseline on the
+// same query.
+func BenchmarkSynthesisFromLineage(b *testing.B) {
+	db := benchDB(500)
+	q := ucq.MustParse("Q() :- R(x), S(x,y)")
+	pi := IdentityPerm(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Compile(db, q.UCQ, pi, CompileOptions{FromLineage: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApply measures raw synthesis of two mid-size OBDDs.
+func BenchmarkApply(b *testing.B) {
+	db := benchDB(300)
+	q1 := ucq.MustParse("Q() :- R(x), S(x,y)")
+	q2 := ucq.MustParse("Q() :- S(x,y)")
+	m, f1, _, err := Compile(db, q1.UCQ, IdentityPerm(db), CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f2, _, err := CompileWith(m, db, q2.UCQ, CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Or(f1, f2)
+	}
+}
+
+// BenchmarkProbability measures the bottom-up Shannon pass.
+func BenchmarkProbability(b *testing.B) {
+	db := benchDB(1000)
+	q := ucq.MustParse("Q() :- R(x), S(x,y)")
+	m, f, _, err := Compile(db, q.UCQ, IdentityPerm(db), CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := db.Probs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prob(f, probs)
+	}
+}

@@ -1,0 +1,494 @@
+package obdd
+
+import (
+	"fmt"
+	"sort"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lineage"
+	"mvdb/internal/ucq"
+)
+
+// CompileOptions tunes the ConOBDD construction.
+type CompileOptions struct {
+	// DisableConcat forces every combination step through Apply synthesis
+	// while keeping the structural recursion — an ablation of the
+	// concatenation optimization alone.
+	DisableConcat bool
+	// FromLineage skips the structural recursion entirely: the query's
+	// lineage DNF is computed and synthesized term by term with Apply. This
+	// is the CUDD baseline of Figure 8 ("CUDD starts with some order Π and
+	// synthesizes the OBDD traversing Φ recursively"); the resulting OBDD
+	// is identical, construction is superlinear.
+	FromLineage bool
+}
+
+// CompileStats reports how the construction proceeded.
+type CompileStats struct {
+	ConcatSteps  int // independent combinations done by concatenation
+	SynthSteps   int // combinations done by Apply synthesis
+	LineageFalls int // sub-queries compiled from raw lineage (inversions)
+}
+
+// Add accumulates another stats value.
+func (s *CompileStats) Add(o CompileStats) {
+	s.ConcatSteps += o.ConcatSteps
+	s.SynthSteps += o.SynthSteps
+	s.LineageFalls += o.LineageFalls
+}
+
+// Compile builds the OBDD of the Boolean UCQ u over db with the variable
+// order Π induced by pi, creating a fresh Manager. It implements ConOBDD
+// (Section 4.2): concatenate wherever sub-OBDDs are independent and ordered,
+// synthesize otherwise, and fall back to compiling the raw lineage for
+// sub-queries with inversions.
+func Compile(db *engine.Database, u ucq.UCQ, pi Perm, opts CompileOptions) (*Manager, NodeID, CompileStats, error) {
+	if err := pi.Validate(db); err != nil {
+		return nil, False, CompileStats{}, err
+	}
+	m := NewManager(TupleOrder(db, pi))
+	f, stats, err := CompileWith(m, db, u, opts)
+	return m, f, stats, err
+}
+
+// CompileWith compiles into an existing manager, so a query OBDD can share
+// the order (and node store) of a previously compiled view OBDD.
+func CompileWith(m *Manager, db *engine.Database, u ucq.UCQ, opts CompileOptions) (NodeID, CompileStats, error) {
+	c := &compiler{m: m, db: db, opts: opts}
+	if opts.FromLineage {
+		lin, err := ucq.EvalBoolean(db, u)
+		if err != nil {
+			return False, c.stats, err
+		}
+		c.stats.LineageFalls++
+		return c.BuildDNF(lin), c.stats, nil
+	}
+	f, err := c.ucq(u)
+	if err != nil {
+		return False, c.stats, err
+	}
+	return f, c.stats, nil
+}
+
+type compiler struct {
+	m     *Manager
+	db    *engine.Database
+	opts  CompileOptions
+	stats CompileStats
+
+	colCache map[string][]engine.Value // "rel\x00pos" -> distinct column values
+}
+
+// columnValues returns the distinct values of one relation column, cached
+// across the whole compilation (separator recursion revisits the same
+// columns at every level).
+func (c *compiler) columnValues(rel *engine.Relation, pos int) []engine.Value {
+	key := rel.Name + "\x00" + string(rune(pos))
+	if c.colCache == nil {
+		c.colCache = map[string][]engine.Value{}
+	}
+	if vs, ok := c.colCache[key]; ok {
+		return vs
+	}
+	seen := map[string]engine.Value{}
+	for _, t := range rel.Tuples {
+		v := t.Vals[pos]
+		seen[v.Key()] = v
+	}
+	out := make([]engine.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	c.colCache[key] = out
+	return out
+}
+
+// ucq compiles a Boolean UCQ.
+func (c *compiler) ucq(u ucq.UCQ) (NodeID, error) {
+	// Simplify disjuncts: evaluate fully-constant predicates now.
+	var live []ucq.CQ
+	for _, d := range u.Disjuncts {
+		if sd, ok := simplifyCQ(d); ok {
+			live = append(live, sd)
+		}
+	}
+	if len(live) == 0 {
+		return False, nil
+	}
+	u = ucq.UCQ{Disjuncts: live}
+
+	// Split off ground disjuncts (R4 at the union level).
+	var ground, open []ucq.CQ
+	for _, d := range u.Disjuncts {
+		if len(d.Vars()) == 0 {
+			ground = append(ground, d)
+		} else {
+			open = append(open, d)
+		}
+	}
+	results := make([]NodeID, 0, len(ground)+4)
+	for _, d := range ground {
+		f, err := c.groundCQ(d)
+		if err != nil {
+			return False, err
+		}
+		results = append(results, f)
+	}
+	if len(open) > 0 {
+		f, err := c.openUCQ(ucq.UCQ{Disjuncts: open})
+		if err != nil {
+			return False, err
+		}
+		results = append(results, f)
+	}
+	return c.combine(results, false), nil
+}
+
+// openUCQ compiles a UCQ whose every disjunct has variables.
+func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
+	// R1: independent unions (no shared relation symbols) concatenate.
+	if groups := u.UnionGroups(); len(groups) > 1 {
+		results := make([]NodeID, 0, len(groups))
+		for _, g := range groups {
+			f, err := c.ucq(g)
+			if err != nil {
+				return False, err
+			}
+			results = append(results, f)
+		}
+		return c.combine(results, false), nil
+	}
+
+	// R2: a single CQ splits into variable-independent components.
+	if len(u.Disjuncts) == 1 {
+		comps := u.Disjuncts[0].Components()
+		if len(comps) > 1 {
+			results := make([]NodeID, 0, len(comps))
+			for _, comp := range comps {
+				f, err := c.ucq(ucq.UCQ{Disjuncts: []ucq.CQ{comp}})
+				if err != nil {
+					return False, err
+				}
+				results = append(results, f)
+			}
+			return c.combine(results, true), nil
+		}
+	}
+
+	// R3: eliminate a separator variable by expanding over its active
+	// domain; per-value blocks concatenate when the order Π groups them.
+	// Deterministic atoms carry no Boolean variables, so the separator only
+	// needs to cover the probabilistic atoms (DBLP's W has exactly this
+	// shape: aid1 occurs in NV/Advisor/Student but not in Wrote or Pub).
+	if sep, ok := u.FindSeparatorSkip(c.detSkip()); ok {
+		// For each disjunct, find one probabilistic atom carrying the
+		// separator (the "probe"). The separator domain of the disjunct is
+		// the set of values at the probe's separator column — narrowed by
+		// the probe's other constant-bound columns through the hash index
+		// when possible (crucial in nested projections: the inner domain is
+		// then the current block's tuples, not the whole column). Values
+		// with no matching tuple in some disjunct prune that disjunct.
+		skip := c.detSkip()
+		type probe struct {
+			rel *engine.Relation
+			pos int
+			a   ucq.Atom
+		}
+		probes := make([]probe, len(u.Disjuncts))
+		domainSet := map[string]engine.Value{}
+		for di, d := range u.Disjuncts {
+			for _, a := range d.Atoms {
+				if skip(a) {
+					continue
+				}
+				if !atomHasVarAt(a, sep.PerDisjunct[di], sep.RelPos[a.Rel]) {
+					continue
+				}
+				probes[di] = probe{rel: c.db.Relation(a.Rel), pos: sep.RelPos[a.Rel], a: a}
+				break
+			}
+			p := probes[di]
+			if p.rel == nil {
+				// No probe (cannot happen for true separators); fall back to
+				// the full column scans of every kept atom.
+				for _, v := range c.separatorDomain(ucq.UCQ{Disjuncts: []ucq.CQ{d}}, sep) {
+					domainSet[v.Key()] = v
+				}
+				continue
+			}
+			// Candidate tuples: narrowed by the first constant-bound column
+			// other than the separator's, else the (cached) full column.
+			narrowed := false
+			for i, t := range p.a.Args {
+				if i == p.pos || !t.IsConst {
+					continue
+				}
+				for _, ti := range p.rel.MatchingIndexes(i, t.Const) {
+					v := p.rel.Tuples[ti].Vals[p.pos]
+					domainSet[v.Key()] = v
+				}
+				narrowed = true
+				break
+			}
+			if !narrowed {
+				for _, v := range c.columnValues(p.rel, p.pos) {
+					domainSet[v.Key()] = v
+				}
+			}
+		}
+		domain := make([]engine.Value, 0, len(domainSet))
+		for _, v := range domainSet {
+			domain = append(domain, v)
+		}
+		sort.Slice(domain, func(i, j int) bool { return domain[i].Compare(domain[j]) < 0 })
+
+		// Iterate in descending order so each new block is prepended to the
+		// accumulated chain: OrDisjoint(block, acc) costs O(|block|).
+		acc := False
+		for i := len(domain) - 1; i >= 0; i-- {
+			sub := ucq.UCQ{}
+			for di, d := range u.Disjuncts {
+				if p := probes[di]; p.rel != nil &&
+					len(p.rel.MatchingIndexes(p.pos, domain[i])) == 0 {
+					continue // this disjunct is false at this value
+				}
+				sub.Disjuncts = append(sub.Disjuncts,
+					d.Subst(map[string]engine.Value{sep.PerDisjunct[di]: domain[i]}))
+			}
+			if len(sub.Disjuncts) == 0 {
+				continue
+			}
+			block, err := c.ucq(sub)
+			if err != nil {
+				return False, err
+			}
+			acc = c.or2(block, acc)
+		}
+		return acc, nil
+	}
+
+	// Fallback: the sub-query has an inversion; compile its lineage by
+	// synthesis (what a generic OBDD package would do for the whole query).
+	c.stats.LineageFalls++
+	lin, err := ucq.EvalBoolean(c.db, u)
+	if err != nil {
+		return False, err
+	}
+	return c.BuildDNF(lin), nil
+}
+
+// groundCQ compiles a conjunct with no variables: a conjunction of tuple
+// lookups (R4).
+func (c *compiler) groundCQ(d ucq.CQ) (NodeID, error) {
+	for _, p := range d.Preds {
+		if !p.L.IsConst || !p.R.IsConst {
+			return False, fmt.Errorf("obdd: predicate %s in ground conjunct has variables", p)
+		}
+		if !p.EvalBound(p.L.Const, p.R.Const) {
+			return False, nil
+		}
+	}
+	var levels []int32
+	for _, a := range d.Atoms {
+		rel := c.db.Relation(a.Rel)
+		if rel == nil {
+			return False, fmt.Errorf("obdd: unknown relation %s", a.Rel)
+		}
+		if len(a.Args) != rel.Arity() {
+			return False, fmt.Errorf("obdd: relation %s has arity %d, atom has %d arguments", a.Rel, rel.Arity(), len(a.Args))
+		}
+		vals := make([]engine.Value, len(a.Args))
+		for i, t := range a.Args {
+			vals[i] = t.Const
+		}
+		ti := rel.Lookup(vals)
+		if a.Negated {
+			if !rel.Deterministic {
+				return False, fmt.Errorf("obdd: negation on probabilistic relation %s", a.Rel)
+			}
+			if ti >= 0 {
+				return False, nil
+			}
+			continue
+		}
+		if ti < 0 {
+			return False, nil
+		}
+		t := rel.Tuples[ti]
+		if t.Var == 0 {
+			continue // deterministic tuple: always true
+		}
+		l := c.m.varLevel[t.Var]
+		levels = append(levels, l)
+	}
+	if len(levels) == 0 {
+		return True, nil
+	}
+	// Build the AND chain bottom-up; this is a pure concatenation.
+	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+	acc := True
+	var prev int32 = -1
+	for _, l := range levels {
+		if l == prev {
+			continue // duplicate variable in the conjunct
+		}
+		prev = l
+		acc = c.m.MkNode(l, False, acc)
+	}
+	c.stats.ConcatSteps += len(levels) - 1
+	return acc, nil
+}
+
+// combine folds sub-results with OR (and=false) or AND (and=true), using
+// concatenation whenever spans permit. Results are sorted by root level so
+// that chains concatenate from the deepest block upward.
+func (c *compiler) combine(results []NodeID, and bool) NodeID {
+	if len(results) == 0 {
+		if and {
+			return True
+		}
+		return False
+	}
+	sort.Slice(results, func(i, j int) bool {
+		return c.m.NodeLevel(results[i]) < c.m.NodeLevel(results[j])
+	})
+	acc := results[len(results)-1]
+	for i := len(results) - 2; i >= 0; i-- {
+		if and {
+			acc = c.and2(results[i], acc)
+		} else {
+			acc = c.or2(results[i], acc)
+		}
+	}
+	return acc
+}
+
+// detSkip ignores atoms that cannot contribute Boolean variables: negated
+// or ground atoms and atoms over deterministic relations.
+func (c *compiler) detSkip() ucq.AtomSkip {
+	return ucq.SkipDeterministic(func(rel string) bool {
+		r := c.db.Relation(rel)
+		return r != nil && r.Deterministic
+	}, ucq.SkipGround)
+}
+
+func (c *compiler) or2(f, g NodeID) NodeID {
+	if f == False {
+		return g
+	}
+	if g == False {
+		return f
+	}
+	if !c.opts.DisableConcat && c.m.CanConcat(f, g) {
+		c.stats.ConcatSteps++
+		return c.m.OrDisjoint(f, g)
+	}
+	if !c.opts.DisableConcat && c.m.CanConcat(g, f) {
+		c.stats.ConcatSteps++
+		return c.m.OrDisjoint(g, f)
+	}
+	c.stats.SynthSteps++
+	return c.m.Or(f, g)
+}
+
+func (c *compiler) and2(f, g NodeID) NodeID {
+	if f == True {
+		return g
+	}
+	if g == True {
+		return f
+	}
+	if !c.opts.DisableConcat && c.m.CanConcat(f, g) {
+		c.stats.ConcatSteps++
+		return c.m.AndDisjoint(f, g)
+	}
+	if !c.opts.DisableConcat && c.m.CanConcat(g, f) {
+		c.stats.ConcatSteps++
+		return c.m.AndDisjoint(g, f)
+	}
+	c.stats.SynthSteps++
+	return c.m.And(f, g)
+}
+
+// separatorDomain collects the active domain of the separator: the distinct
+// values found at the separator's position in every relation it touches,
+// sorted ascending (the order Π groups tuples by these values).
+func (c *compiler) separatorDomain(u ucq.UCQ, sep ucq.Separator) []engine.Value {
+	seen := map[string]engine.Value{}
+	for rel, pos := range sep.RelPos {
+		r := c.db.Relation(rel)
+		if r == nil {
+			continue
+		}
+		for _, t := range r.Tuples {
+			v := t.Vals[pos]
+			seen[v.Key()] = v
+		}
+	}
+	out := make([]engine.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// atomHasVarAt reports whether the atom carries the variable at the given
+// argument position.
+func atomHasVarAt(a ucq.Atom, v string, pos int) bool {
+	return pos >= 0 && pos < len(a.Args) && !a.Args[pos].IsConst && a.Args[pos].Var == v
+}
+
+// simplifyCQ drops fully-constant predicates, returning ok=false when one is
+// violated (the conjunct is unsatisfiable).
+func simplifyCQ(d ucq.CQ) (ucq.CQ, bool) {
+	out := ucq.CQ{Atoms: d.Atoms}
+	for _, p := range d.Preds {
+		if p.L.IsConst && p.R.IsConst {
+			if !p.EvalBound(p.L.Const, p.R.Const) {
+				return ucq.CQ{}, false
+			}
+			continue
+		}
+		out.Preds = append(out.Preds, p)
+	}
+	return out, true
+}
+
+// BuildDNF synthesizes the OBDD of a monotone DNF with Apply, folding terms
+// sequentially — the behaviour of a generic OBDD package handed a lineage
+// expression.
+func (c *compiler) BuildDNF(d lineage.DNF) NodeID {
+	acc := False
+	for _, term := range d {
+		levels := make([]int32, 0, len(term))
+		for _, v := range term {
+			l, ok := c.m.varLevel[v]
+			if !ok {
+				panic(fmt.Sprintf("obdd: lineage variable %d not in order", v))
+			}
+			levels = append(levels, l)
+		}
+		sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+		t := True
+		var prev int32 = -1
+		for _, l := range levels {
+			if l == prev {
+				continue
+			}
+			prev = l
+			t = c.m.MkNode(l, False, t)
+		}
+		c.stats.SynthSteps++
+		acc = c.m.Or(acc, t)
+	}
+	return acc
+}
+
+// BuildDNF constructs an OBDD for a DNF directly on a manager, for callers
+// outside the ConOBDD pipeline (e.g. compiling a query's lineage against a
+// precompiled view order).
+func BuildDNF(m *Manager, d lineage.DNF) NodeID {
+	c := &compiler{m: m}
+	return c.BuildDNF(d)
+}

@@ -1,0 +1,455 @@
+// Package obdd implements Ordered Binary Decision Diagrams with the
+// operations the paper needs: hash-consed reduced nodes, generic Apply
+// synthesis (the CUDD-style baseline), the concatenation fast path for
+// independent sub-OBDDs (Section 4.2), probability computation under
+// possibly-negative tuple probabilities (Section 3.3), the tuple order Π
+// induced by attribute permutations π, and the ConOBDD compilation algorithm
+// (rules R1-R4).
+package obdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node in a Manager. The two terminals have fixed ids.
+type NodeID int32
+
+// Terminal nodes.
+const (
+	False NodeID = 0
+	True  NodeID = 1
+)
+
+// terminalLevel sorts terminals below every variable level.
+const terminalLevel = math.MaxInt32
+
+type node struct {
+	level  int32
+	lo, hi NodeID
+}
+
+type opKind int8
+
+const (
+	opAnd opKind = iota
+	opOr
+)
+
+type applyKey struct {
+	op   opKind
+	f, g NodeID
+}
+
+// Manager owns the node store for a fixed variable order. Nodes are reduced
+// (no node with lo == hi) and hash-consed (structurally unique), so two
+// equivalent formulas compile to the same NodeID.
+type Manager struct {
+	nodes    []node
+	maxLevel []int32 // highest (deepest) variable level in each node's cone
+	unique   map[node]NodeID
+	cache    map[applyKey]NodeID
+
+	levelVar []int         // level -> external variable id
+	varLevel map[int]int32 // external variable id -> level
+}
+
+// NewManager creates a manager whose variable order is the given sequence of
+// external variable ids, first to last.
+func NewManager(order []int) *Manager {
+	m := &Manager{
+		nodes:    []node{{level: terminalLevel}, {level: terminalLevel}},
+		maxLevel: []int32{-1, -1},
+		unique:   make(map[node]NodeID),
+		cache:    make(map[applyKey]NodeID),
+		levelVar: append([]int(nil), order...),
+		varLevel: make(map[int]int32, len(order)),
+	}
+	for i, v := range order {
+		if _, dup := m.varLevel[v]; dup {
+			panic(fmt.Sprintf("obdd: variable %d appears twice in order", v))
+		}
+		m.varLevel[v] = int32(i)
+	}
+	return m
+}
+
+// NumVars returns the number of variables in the order.
+func (m *Manager) NumVars() int { return len(m.levelVar) }
+
+// NumNodes returns the total number of nodes allocated (including both
+// terminals), a measure of overall memory use.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// Level returns the level of a variable id, or -1 if unknown.
+func (m *Manager) Level(v int) int {
+	if l, ok := m.varLevel[v]; ok {
+		return int(l)
+	}
+	return -1
+}
+
+// VarAtLevel returns the external variable id at the given level.
+func (m *Manager) VarAtLevel(level int) int { return m.levelVar[level] }
+
+// NodeLevel returns the level of a node (terminalLevel for terminals).
+func (m *Manager) NodeLevel(f NodeID) int32 { return m.nodes[f].level }
+
+// Lo and Hi return a node's children.
+func (m *Manager) Lo(f NodeID) NodeID { return m.nodes[f].lo }
+
+// Hi returns the 1-child.
+func (m *Manager) Hi(f NodeID) NodeID { return m.nodes[f].hi }
+
+// IsTerminal reports whether f is a terminal.
+func (m *Manager) IsTerminal(f NodeID) bool { return f == False || f == True }
+
+// MkNode returns the reduced, hash-consed node (level, lo, hi).
+func (m *Manager) MkNode(level int32, lo, hi NodeID) NodeID {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: lo, hi: hi}
+	if id, ok := m.unique[n]; ok {
+		return id
+	}
+	id := NodeID(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	ml := level
+	if l := m.maxLevel[lo]; l > ml {
+		ml = l
+	}
+	if l := m.maxLevel[hi]; l > ml {
+		ml = l
+	}
+	m.maxLevel = append(m.maxLevel, ml)
+	m.unique[n] = id
+	return id
+}
+
+// Var returns the node testing the given external variable.
+func (m *Manager) Var(v int) NodeID {
+	l, ok := m.varLevel[v]
+	if !ok {
+		panic(fmt.Sprintf("obdd: variable %d not in order", v))
+	}
+	return m.MkNode(l, False, True)
+}
+
+// MaxLevel returns the deepest variable level in f's cone (-1 for
+// terminals). Because nodes are ordered, the shallowest level is the root's.
+func (m *Manager) MaxLevel(f NodeID) int32 { return m.maxLevel[f] }
+
+// And returns f ∧ g by synthesis (Apply).
+func (m *Manager) And(f, g NodeID) NodeID { return m.apply(opAnd, f, g) }
+
+// Or returns f ∨ g by synthesis (Apply).
+func (m *Manager) Or(f, g NodeID) NodeID { return m.apply(opOr, f, g) }
+
+func (m *Manager) apply(op opKind, f, g NodeID) NodeID {
+	// Terminal cases.
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+	case opOr:
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+	}
+	if f == g {
+		return f
+	}
+	if f > g { // canonicalize: both ops are commutative
+		f, g = g, f
+	}
+	key := applyKey{op, f, g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	nf, ng := m.nodes[f], m.nodes[g]
+	var level int32
+	var fl, fh, gl, gh NodeID
+	switch {
+	case nf.level < ng.level:
+		level, fl, fh, gl, gh = nf.level, nf.lo, nf.hi, g, g
+	case nf.level > ng.level:
+		level, fl, fh, gl, gh = ng.level, f, f, ng.lo, ng.hi
+	default:
+		level, fl, fh, gl, gh = nf.level, nf.lo, nf.hi, ng.lo, ng.hi
+	}
+	r := m.MkNode(level, m.apply(op, fl, gl), m.apply(op, fh, gh))
+	m.cache[key] = r
+	return r
+}
+
+// Not returns the complement of f by swapping terminals.
+func (m *Manager) Not(f NodeID) NodeID {
+	memo := make(map[NodeID]NodeID)
+	return m.not(f, memo)
+}
+
+func (m *Manager) not(f NodeID, memo map[NodeID]NodeID) NodeID {
+	switch f {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	r := m.MkNode(n.level, m.not(n.lo, memo), m.not(n.hi, memo))
+	memo[f] = r
+	return r
+}
+
+// CanConcat reports whether f ∨ g (or f ∧ g) can be built by concatenation:
+// every variable of f strictly precedes every variable of g in the order.
+// Terminals concatenate trivially.
+func (m *Manager) CanConcat(f, g NodeID) bool {
+	if m.IsTerminal(f) || m.IsTerminal(g) {
+		return true
+	}
+	return m.maxLevel[f] < m.nodes[g].level
+}
+
+// OrDisjoint builds f ∨ g by redirecting the False sink of f to g. It
+// requires CanConcat(f, g); the cost is O(|f|), independent of |g| — the
+// concatenation step of Section 4.2.
+func (m *Manager) OrDisjoint(f, g NodeID) NodeID {
+	if f == False {
+		return g
+	}
+	if f == True || g == False {
+		return f
+	}
+	if !m.CanConcat(f, g) {
+		panic("obdd: OrDisjoint on overlapping spans")
+	}
+	memo := make(map[NodeID]NodeID)
+	return m.replaceSink(f, False, g, memo)
+}
+
+// AndDisjoint builds f ∧ g by redirecting the True sink of f to g, under the
+// same precondition as OrDisjoint.
+func (m *Manager) AndDisjoint(f, g NodeID) NodeID {
+	if f == True {
+		return g
+	}
+	if f == False || g == True {
+		return f
+	}
+	if !m.CanConcat(f, g) {
+		panic("obdd: AndDisjoint on overlapping spans")
+	}
+	memo := make(map[NodeID]NodeID)
+	return m.replaceSink(f, True, g, memo)
+}
+
+func (m *Manager) replaceSink(f, sink, g NodeID, memo map[NodeID]NodeID) NodeID {
+	if f == sink {
+		return g
+	}
+	if m.IsTerminal(f) {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	r := m.MkNode(n.level, m.replaceSink(n.lo, sink, g, memo), m.replaceSink(n.hi, sink, g, memo))
+	memo[f] = r
+	return r
+}
+
+// Prob computes P(f) where probs is indexed by external variable id. It is
+// the bottom-up Shannon expansion of Section 4.1 and is valid verbatim for
+// negative probabilities.
+func (m *Manager) Prob(f NodeID, probs []float64) float64 {
+	memo := make(map[NodeID]float64)
+	return m.prob(f, probs, memo)
+}
+
+func (m *Manager) prob(f NodeID, probs []float64, memo map[NodeID]float64) float64 {
+	switch f {
+	case False:
+		return 0
+	case True:
+		return 1
+	}
+	if p, ok := memo[f]; ok {
+		return p
+	}
+	n := m.nodes[f]
+	p := probs[m.levelVar[n.level]]
+	r := (1-p)*m.prob(n.lo, probs, memo) + p*m.prob(n.hi, probs, memo)
+	memo[f] = r
+	return r
+}
+
+// Eval evaluates f under a variable assignment.
+func (m *Manager) Eval(f NodeID, assign func(v int) bool) bool {
+	for !m.IsTerminal(f) {
+		n := m.nodes[f]
+		if assign(m.levelVar[n.level]) {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// Reachable returns all nodes reachable from f, terminals excluded.
+func (m *Manager) Reachable(f NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	var walk func(NodeID)
+	walk = func(x NodeID) {
+		if m.IsTerminal(x) || seen[x] {
+			return
+		}
+		seen[x] = true
+		out = append(out, x)
+		walk(m.nodes[x].lo)
+		walk(m.nodes[x].hi)
+	}
+	walk(f)
+	return out
+}
+
+// Size returns the number of internal nodes reachable from f — the paper's
+// OBDD size (Figure 7).
+func (m *Manager) Size(f NodeID) int { return len(m.Reachable(f)) }
+
+// Width returns the maximum number of reachable nodes labeled with any one
+// level (Section 4.1).
+func (m *Manager) Width(f NodeID) int {
+	perLevel := map[int32]int{}
+	w := 0
+	for _, id := range m.Reachable(f) {
+		l := m.nodes[id].level
+		perLevel[l]++
+		if perLevel[l] > w {
+			w = perLevel[l]
+		}
+	}
+	return w
+}
+
+// Support returns the sorted external variable ids appearing in f.
+func (m *Manager) Support(f NodeID) []int {
+	levels := map[int32]bool{}
+	for _, id := range m.Reachable(f) {
+		levels[m.nodes[id].level] = true
+	}
+	out := make([]int, 0, len(levels))
+	for l := range levels {
+		out = append(out, m.levelVar[l])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Compact builds a fresh manager containing only the nodes reachable from
+// the given roots and returns it with the translated roots. Compilation and
+// per-query synthesis leave dead intermediate nodes behind; long-running
+// sessions compact to bound memory. The variable order is preserved.
+func (m *Manager) Compact(roots ...NodeID) (*Manager, []NodeID) {
+	nm := NewManager(m.levelVar)
+	memo := map[NodeID]NodeID{False: False, True: True}
+	var rebuild func(NodeID) NodeID
+	rebuild = func(f NodeID) NodeID {
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		r := nm.MkNode(n.level, rebuild(n.lo), rebuild(n.hi))
+		memo[f] = r
+		return r
+	}
+	out := make([]NodeID, len(roots))
+	for i, r := range roots {
+		out[i] = rebuild(r)
+	}
+	return nm, out
+}
+
+// Cofactor restricts f by fixing variable v to the given value.
+func (m *Manager) Cofactor(f NodeID, v int, value bool) NodeID {
+	l, ok := m.varLevel[v]
+	if !ok {
+		return f
+	}
+	memo := make(map[NodeID]NodeID)
+	var rec func(NodeID) NodeID
+	rec = func(g NodeID) NodeID {
+		if m.IsTerminal(g) || m.nodes[g].level > l {
+			return g
+		}
+		if r, hit := memo[g]; hit {
+			return r
+		}
+		n := m.nodes[g]
+		var r NodeID
+		if n.level == l {
+			if value {
+				r = n.hi
+			} else {
+				r = n.lo
+			}
+		} else {
+			r = m.MkNode(n.level, rec(n.lo), rec(n.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Exists existentially quantifies variable v out of f:
+// ∃v.f = f|v=0 ∨ f|v=1.
+func (m *Manager) Exists(f NodeID, v int) NodeID {
+	return m.Or(m.Cofactor(f, v, false), m.Cofactor(f, v, true))
+}
+
+// ForAll universally quantifies variable v out of f:
+// ∀v.f = f|v=0 ∧ f|v=1.
+func (m *Manager) ForAll(f NodeID, v int) NodeID {
+	return m.And(m.Cofactor(f, v, false), m.Cofactor(f, v, true))
+}
+
+// CountModels returns the number of satisfying assignments of f over the
+// manager's full variable set, computed as P(f) under the uniform
+// distribution times 2^NumVars. Exact up to float64 precision (useful for
+// up to ~2^52 models).
+func (m *Manager) CountModels(f NodeID) float64 {
+	probs := make([]float64, 0, len(m.varLevel)+1)
+	max := 0
+	for v := range m.varLevel {
+		if v > max {
+			max = v
+		}
+	}
+	probs = make([]float64, max+1)
+	for v := range m.varLevel {
+		probs[v] = 0.5
+	}
+	return m.Prob(f, probs) * math.Pow(2, float64(m.NumVars()))
+}

@@ -1,0 +1,131 @@
+package obdd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mvdb/internal/lineage"
+)
+
+// dnfCase is a random monotone DNF with per-variable probabilities,
+// generated for property-based testing.
+type dnfCase struct {
+	NumVars int
+	DNF     lineage.DNF
+	Probs   []float64
+}
+
+// Generate implements quick.Generator.
+func (dnfCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	nv := 2 + rng.Intn(6)
+	d := make(lineage.DNF, 1+rng.Intn(5))
+	for i := range d {
+		term := make([]int, 1+rng.Intn(4))
+		for j := range term {
+			term[j] = 1 + rng.Intn(nv)
+		}
+		d[i] = lineage.Term(term...)
+	}
+	probs := make([]float64, nv+1)
+	for i := 1; i <= nv; i++ {
+		probs[i] = rng.Float64()*2 - 0.5 // includes negative probabilities
+	}
+	return reflect.ValueOf(dnfCase{NumVars: nv, DNF: d, Probs: probs})
+}
+
+// TestQuickOBDDProbMatchesBruteForce: for any monotone DNF and any
+// probability vector (negative entries included), the OBDD probability
+// equals the brute-force sum over assignments.
+func TestQuickOBDDProbMatchesBruteForce(t *testing.T) {
+	f := func(c dnfCase) bool {
+		m := NewManager(seqOrder(c.NumVars))
+		g := buildFromDNF(m, c.DNF)
+		want := lineage.BruteForceProb(c.DNF, c.Probs)
+		got := m.Prob(g, c.Probs)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOBDDCanonical: two structurally different constructions of the
+// same function yield the same NodeID (hash-consing canonicity).
+func TestQuickOBDDCanonical(t *testing.T) {
+	f := func(c dnfCase) bool {
+		m := NewManager(seqOrder(c.NumVars))
+		// Forward fold and reverse fold build the same function.
+		a := buildFromDNF(m, c.DNF)
+		rev := make(lineage.DNF, len(c.DNF))
+		for i, term := range c.DNF {
+			rev[len(c.DNF)-1-i] = term
+		}
+		b := buildFromDNF(m, rev)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeMorgan: ¬(f ∨ g) == ¬f ∧ ¬g on the hash-consed manager.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(c1, c2 dnfCase) bool {
+		nv := c1.NumVars
+		if c2.NumVars > nv {
+			nv = c2.NumVars
+		}
+		m := NewManager(seqOrder(nv))
+		a := buildFromDNF(m, c1.DNF)
+		b := buildFromDNF(m, c2.DNF)
+		return m.Not(m.Or(a, b)) == m.And(m.Not(a), m.Not(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReduced: every node in a constructed OBDD is reduced (lo != hi)
+// and ordered (children at strictly greater levels).
+func TestQuickReduced(t *testing.T) {
+	f := func(c dnfCase) bool {
+		m := NewManager(seqOrder(c.NumVars))
+		g := buildFromDNF(m, c.DNF)
+		for _, id := range m.Reachable(g) {
+			n := m.nodes[id]
+			if n.lo == n.hi {
+				return false
+			}
+			if !m.IsTerminal(n.lo) && m.nodes[n.lo].level <= n.level {
+				return false
+			}
+			if !m.IsTerminal(n.hi) && m.nodes[n.hi].level <= n.level {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickShannon: P(f) = (1-p)·P(f|x=0) + p·P(f|x=1) at the root.
+func TestQuickShannon(t *testing.T) {
+	f := func(c dnfCase) bool {
+		m := NewManager(seqOrder(c.NumVars))
+		g := buildFromDNF(m, c.DNF)
+		if m.IsTerminal(g) {
+			return true
+		}
+		p := c.Probs[m.VarAtLevel(int(m.NodeLevel(g)))]
+		want := (1-p)*m.Prob(m.Lo(g), c.Probs) + p*m.Prob(m.Hi(g), c.Probs)
+		return math.Abs(m.Prob(g, c.Probs)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,695 @@
+// Package plan extracts executable extensional plans for safe UCQs over
+// tuple-independent databases — the "safe plans" of Dalvi & Suciu that the
+// paper cites as the classic efficient evaluation technique [7]. Where
+// package lift re-analyzes the query at every recursion step, Extract runs
+// the analysis once and emits an operator tree (independent union,
+// independent join, independent project, inclusion-exclusion, ground
+// lookups) that can be executed repeatedly, inspected, and pretty-printed.
+//
+// All operators are polynomial identities of the product measure, so plans
+// remain exact under the negative probabilities of the MarkoView
+// translation.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/ucq"
+)
+
+// ErrNoPlan is returned when the query admits no safe plan.
+var ErrNoPlan = errors.New("plan: query has no safe plan")
+
+const maxIEDisjuncts = 16
+
+// Plan is an extracted extensional plan for one Boolean UCQ.
+type Plan struct {
+	Query ucq.UCQ
+	Root  Node
+	db    *engine.Database
+}
+
+// Node is one operator of the plan tree.
+type Node interface {
+	prob(x *exec, env map[string]engine.Value) (float64, error)
+	format(b *strings.Builder, indent string)
+}
+
+// Extract analyzes the query once and produces a plan, or ErrNoPlan.
+func Extract(db *engine.Database, u ucq.UCQ) (*Plan, error) {
+	e := &extractor{db: db}
+	root, err := e.ucq(u)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Query: u, Root: root, db: db}, nil
+}
+
+// Prob executes the plan.
+func (p *Plan) Prob() (float64, error) {
+	return p.Root.prob(&exec{db: p.db}, map[string]engine.Value{})
+}
+
+// String renders the operator tree.
+func (p *Plan) String() string {
+	var b strings.Builder
+	p.Root.format(&b, "")
+	return strings.TrimRight(b.String(), "\n")
+}
+
+type exec struct {
+	db *engine.Database
+}
+
+type extractor struct {
+	db *engine.Database
+}
+
+func (e *extractor) isDet(rel string) bool {
+	r := e.db.Relation(rel)
+	return r != nil && r.Deterministic
+}
+
+func (e *extractor) skip() ucq.AtomSkip {
+	return ucq.SkipDeterministic(e.isDet, ucq.SkipNegated)
+}
+
+// ucq mirrors lift's rule order, emitting nodes instead of numbers.
+func (e *extractor) ucq(u ucq.UCQ) (Node, error) {
+	var live []ucq.CQ
+	for _, d := range u.Disjuncts {
+		if sd, ok := simplify(d); ok {
+			live = append(live, sd)
+		}
+	}
+	if len(live) == 0 {
+		return constNode(0), nil
+	}
+	u = ucq.UCQ{Disjuncts: live}.RemoveRedundantDisjuncts(nil)
+
+	if groups := u.UnionGroups(); len(groups) > 1 {
+		children := make([]Node, 0, len(groups))
+		for _, g := range groups {
+			c, err := e.ucq(g)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, c)
+		}
+		return &indUnion{children: children}, nil
+	}
+	if len(u.Disjuncts) == 1 {
+		return e.cq(u.Disjuncts[0])
+	}
+	if sep, ok := u.FindSeparatorSkip(e.skip()); ok {
+		return e.project(u, sep)
+	}
+	if len(u.Disjuncts) > maxIEDisjuncts {
+		return nil, fmt.Errorf("plan: inclusion-exclusion over %d disjuncts: %w", len(u.Disjuncts), ErrNoPlan)
+	}
+	node := &ieSum{}
+	n := len(u.Disjuncts)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		merged := mergeCQs(u.Disjuncts, mask)
+		child, err := e.cq(merged)
+		if err != nil {
+			return nil, err
+		}
+		sign := 1
+		if popcount(mask)%2 == 0 {
+			sign = -1
+		}
+		node.signs = append(node.signs, sign)
+		node.children = append(node.children, child)
+	}
+	return node, nil
+}
+
+func (e *extractor) cq(d ucq.CQ) (Node, error) {
+	d, ok := simplify(d)
+	if !ok {
+		return constNode(0), nil
+	}
+	d = d.CollapseEquivalentAtoms(nil).Minimize(nil)
+	if len(freeVars(d)) == 0 {
+		return &groundCQ{cq: d}, nil
+	}
+	if e.allDet(d) {
+		return &detExists{cq: d}, nil
+	}
+	comps := d.Components()
+	if len(comps) > 1 && relationDisjoint(comps) {
+		children := make([]Node, 0, len(comps))
+		for _, c := range comps {
+			child, err := e.cq(c)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+		}
+		return &indJoin{children: children}, nil
+	}
+	uu := ucq.UCQ{Disjuncts: []ucq.CQ{d}}
+	if sep, ok := uu.FindSeparatorSkip(e.skip()); ok {
+		return e.project(uu, sep)
+	}
+	return nil, fmt.Errorf("plan: no rule applies to %s: %w", d, ErrNoPlan)
+}
+
+// project emits an independent-project node. The separator is replaced by a
+// runtime marker constant in the child, so the child plan is extracted once
+// and re-evaluated per domain value.
+func (e *extractor) project(u ucq.UCQ, sep ucq.Separator) (Node, error) {
+	name := freshRuntimeVar(u)
+	node := &indProject{varName: name}
+	sub := ucq.UCQ{}
+	for di, d := range u.Disjuncts {
+		bound := d.Subst(map[string]engine.Value{sep.PerDisjunct[di]: marker(name)})
+		sub.Disjuncts = append(sub.Disjuncts, bound)
+		// Domain probe: one probabilistic atom of this disjunct carrying
+		// the separator; the runtime narrows its tuples by any marker-bound
+		// column before projecting the separator column.
+		probeDone := false
+		for _, a := range d.Atoms {
+			if e.skip()(a) {
+				continue
+			}
+			pos := sep.RelPos[a.Rel]
+			if pos < 0 || pos >= len(a.Args) || a.Args[pos].IsConst || a.Args[pos].Var != sep.PerDisjunct[di] {
+				continue
+			}
+			node.probes = append(node.probes, probe{atom: bound.Atoms[atomIndex(d, a)], sepPos: pos})
+			probeDone = true
+			break
+		}
+		if !probeDone {
+			return nil, fmt.Errorf("plan: internal: separator %s has no probe atom", sep.PerDisjunct[di])
+		}
+	}
+	child, err := e.ucq(sub)
+	if err != nil {
+		return nil, err
+	}
+	node.child = child
+	return node, nil
+}
+
+func atomIndex(d ucq.CQ, a ucq.Atom) int {
+	for i := range d.Atoms {
+		if d.Atoms[i].String() == a.String() {
+			return i
+		}
+	}
+	return 0
+}
+
+func (e *extractor) allDet(d ucq.CQ) bool {
+	for _, a := range d.Atoms {
+		if !e.isDet(a.Rel) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- runtime markers -------------------------------------------------------
+
+const markerPrefix = "\x00plan:"
+
+func marker(name string) engine.Value { return engine.Str(markerPrefix + name) }
+
+func isMarker(v engine.Value) (string, bool) {
+	if v.IsStr && strings.HasPrefix(v.Str, markerPrefix) {
+		return v.Str[len(markerPrefix):], true
+	}
+	return "", false
+}
+
+// bindMarkers replaces marker constants with their runtime values.
+func bindMarkers(d ucq.CQ, env map[string]engine.Value) ucq.CQ {
+	sub := func(t ucq.Term) ucq.Term {
+		if t.IsConst {
+			if name, ok := isMarker(t.Const); ok {
+				if v, bound := env[name]; bound {
+					return ucq.C(v)
+				}
+			}
+		}
+		return t
+	}
+	out := ucq.CQ{Atoms: make([]ucq.Atom, len(d.Atoms)), Preds: make([]ucq.Pred, len(d.Preds))}
+	for i, a := range d.Atoms {
+		na := ucq.Atom{Rel: a.Rel, Negated: a.Negated, Args: make([]ucq.Term, len(a.Args))}
+		for j, t := range a.Args {
+			na.Args[j] = sub(t)
+		}
+		out.Atoms[i] = na
+	}
+	for i, p := range d.Preds {
+		out.Preds[i] = ucq.Pred{Op: p.Op, L: sub(p.L), R: sub(p.R), Offset: p.Offset}
+	}
+	return out
+}
+
+// freeVars returns variables of d (markers are constants, so a fully
+// marker-bound conjunct counts as ground).
+func freeVars(d ucq.CQ) []string { return d.Vars() }
+
+func freshRuntimeVar(u ucq.UCQ) string {
+	used := map[string]bool{}
+	noteTerm := func(t ucq.Term) {
+		if !t.IsConst {
+			used[t.Var] = true
+			return
+		}
+		// Markers from enclosing projects are constants by now; their names
+		// must stay unique or nested bindings would clobber each other.
+		if name, ok := isMarker(t.Const); ok {
+			used[name] = true
+		}
+	}
+	for _, d := range u.Disjuncts {
+		for _, a := range d.Atoms {
+			for _, t := range a.Args {
+				noteTerm(t)
+			}
+		}
+		for _, p := range d.Preds {
+			noteTerm(p.L)
+			noteTerm(p.R)
+		}
+	}
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("z%d", i)
+		if !used[name] {
+			return name
+		}
+	}
+}
+
+// --- helpers shared with lift ----------------------------------------------
+
+func simplify(d ucq.CQ) (ucq.CQ, bool) {
+	out := ucq.CQ{Atoms: d.Atoms}
+	for _, p := range d.Preds {
+		if p.L.IsConst && p.R.IsConst {
+			lm, lok := isMarker(p.L.Const)
+			rm, rok := isMarker(p.R.Const)
+			_ = lm
+			_ = rm
+			if !lok && !rok {
+				if !p.EvalBound(p.L.Const, p.R.Const) {
+					return ucq.CQ{}, false
+				}
+				continue
+			}
+		}
+		out.Preds = append(out.Preds, p)
+	}
+	return out, true
+}
+
+func relationDisjoint(comps []ucq.CQ) bool {
+	seen := map[string]int{}
+	for i, c := range comps {
+		for _, a := range c.Atoms {
+			if j, ok := seen[a.Rel]; ok && j != i {
+				return false
+			}
+			seen[a.Rel] = i
+		}
+	}
+	return true
+}
+
+func mergeCQs(ds []ucq.CQ, mask int) ucq.CQ {
+	var out ucq.CQ
+	for i, d := range ds {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		prefix := fmt.Sprintf("m%d·", i)
+		rename := func(t ucq.Term) ucq.Term {
+			if t.IsConst {
+				return t
+			}
+			return ucq.V(prefix + t.Var)
+		}
+		for _, a := range d.Atoms {
+			na := ucq.Atom{Rel: a.Rel, Negated: a.Negated, Args: make([]ucq.Term, len(a.Args))}
+			for j, t := range a.Args {
+				na.Args[j] = rename(t)
+			}
+			out.Atoms = append(out.Atoms, na)
+		}
+		for _, p := range d.Preds {
+			out.Preds = append(out.Preds, ucq.Pred{Op: p.Op, L: rename(p.L), R: rename(p.R), Offset: p.Offset})
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// --- operators --------------------------------------------------------------
+
+type constLeaf struct{ p float64 }
+
+func constNode(p float64) Node { return &constLeaf{p: p} }
+
+func (c *constLeaf) prob(*exec, map[string]engine.Value) (float64, error) { return c.p, nil }
+func (c *constLeaf) format(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sconst %g\n", in, c.p)
+}
+
+type indUnion struct{ children []Node }
+
+func (n *indUnion) prob(x *exec, env map[string]engine.Value) (float64, error) {
+	prod := 1.0
+	for _, c := range n.children {
+		p, err := c.prob(x, env)
+		if err != nil {
+			return 0, err
+		}
+		prod *= 1 - p
+	}
+	return 1 - prod, nil
+}
+
+func (n *indUnion) format(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sindependent-union\n", in)
+	for _, c := range n.children {
+		c.format(b, in+"  ")
+	}
+}
+
+type indJoin struct{ children []Node }
+
+func (n *indJoin) prob(x *exec, env map[string]engine.Value) (float64, error) {
+	prod := 1.0
+	for _, c := range n.children {
+		p, err := c.prob(x, env)
+		if err != nil {
+			return 0, err
+		}
+		prod *= p
+	}
+	return prod, nil
+}
+
+func (n *indJoin) format(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sindependent-join\n", in)
+	for _, c := range n.children {
+		c.format(b, in+"  ")
+	}
+}
+
+type ieSum struct {
+	signs    []int
+	children []Node
+}
+
+func (n *ieSum) prob(x *exec, env map[string]engine.Value) (float64, error) {
+	total := 0.0
+	for i, c := range n.children {
+		p, err := c.prob(x, env)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(n.signs[i]) * p
+	}
+	return total, nil
+}
+
+func (n *ieSum) format(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sinclusion-exclusion (%d terms)\n", in, len(n.children))
+	for i, c := range n.children {
+		fmt.Fprintf(b, "%s  [%+d]\n", in, n.signs[i])
+		c.format(b, in+"    ")
+	}
+}
+
+// probe locates the separator domain of one disjunct.
+type probe struct {
+	atom   ucq.Atom
+	sepPos int
+}
+
+type indProject struct {
+	varName string
+	probes  []probe
+	child   Node
+}
+
+func (n *indProject) prob(x *exec, env map[string]engine.Value) (float64, error) {
+	domain, err := n.domain(x, env)
+	if err != nil {
+		return 0, err
+	}
+	prod := 1.0
+	for _, v := range domain {
+		env[n.varName] = v
+		p, err := n.child.prob(x, env)
+		if err != nil {
+			delete(env, n.varName)
+			return 0, err
+		}
+		prod *= 1 - p
+	}
+	delete(env, n.varName)
+	return 1 - prod, nil
+}
+
+// domain collects the distinct separator values of every probe, narrowing
+// each probe by its first marker-bound column (the group-by pushdown of a
+// relational safe plan).
+func (n *indProject) domain(x *exec, env map[string]engine.Value) ([]engine.Value, error) {
+	seen := map[string]engine.Value{}
+	for _, pr := range n.probes {
+		rel := x.db.Relation(pr.atom.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("plan: unknown relation %s", pr.atom.Rel)
+		}
+		bound := bindMarkers(ucq.CQ{Atoms: []ucq.Atom{pr.atom}}, env).Atoms[0]
+		var candidates []int
+		narrowed := false
+		for i, t := range bound.Args {
+			if i == pr.sepPos || !t.IsConst {
+				continue
+			}
+			if _, stillMarker := isMarker(t.Const); stillMarker {
+				continue
+			}
+			candidates = rel.MatchingIndexes(i, t.Const)
+			narrowed = true
+			break
+		}
+		if !narrowed {
+			candidates = make([]int, rel.Len())
+			for i := range candidates {
+				candidates[i] = i
+			}
+		}
+		for _, ti := range candidates {
+			v := rel.Tuples[ti].Vals[pr.sepPos]
+			seen[v.Key()] = v
+		}
+	}
+	out := make([]engine.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+func (n *indProject) format(b *strings.Builder, in string) {
+	rels := make([]string, len(n.probes))
+	for i, p := range n.probes {
+		rels[i] = fmt.Sprintf("%s[%d]", p.atom.Rel, p.sepPos)
+	}
+	fmt.Fprintf(b, "%sindependent-project %s over %s\n", in, n.varName, strings.Join(rels, " ∪ "))
+	n.child.format(b, in+"  ")
+}
+
+// groundCQ is a conjunct whose every term is a constant or runtime marker.
+type groundCQ struct{ cq ucq.CQ }
+
+func (n *groundCQ) prob(x *exec, env map[string]engine.Value) (float64, error) {
+	d := bindMarkers(n.cq, env)
+	seen := map[int]bool{}
+	prod := 1.0
+	for _, p := range d.Preds {
+		if !p.L.IsConst || !p.R.IsConst {
+			return 0, fmt.Errorf("plan: unbound predicate %s", p)
+		}
+		if !p.EvalBound(p.L.Const, p.R.Const) {
+			return 0, nil
+		}
+	}
+	for _, a := range d.Atoms {
+		rel := x.db.Relation(a.Rel)
+		if rel == nil {
+			return 0, fmt.Errorf("plan: unknown relation %s", a.Rel)
+		}
+		vals := make([]engine.Value, len(a.Args))
+		for i, t := range a.Args {
+			if !t.IsConst {
+				return 0, fmt.Errorf("plan: unbound variable %s in ground conjunct", t.Var)
+			}
+			vals[i] = t.Const
+		}
+		ti := rel.Lookup(vals)
+		if a.Negated {
+			if ti >= 0 {
+				return 0, nil
+			}
+			continue
+		}
+		if ti < 0 {
+			return 0, nil
+		}
+		t := rel.Tuples[ti]
+		if t.Var == 0 || seen[t.Var] {
+			continue
+		}
+		seen[t.Var] = true
+		prod *= engine.WeightToProb(t.Weight)
+	}
+	return prod, nil
+}
+
+func (n *groundCQ) format(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sground %s\n", in, cleanString(n.cq.String()))
+}
+
+// detExists is an existence check over deterministic relations only.
+type detExists struct{ cq ucq.CQ }
+
+func (n *detExists) prob(x *exec, env map[string]engine.Value) (float64, error) {
+	d := bindMarkers(n.cq, env)
+	lin, err := ucq.EvalBoolean(x.db, ucq.UCQ{Disjuncts: []ucq.CQ{d}})
+	if err != nil {
+		return 0, err
+	}
+	if lin.IsTrue() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func (n *detExists) format(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sexists(det) %s\n", in, cleanString(n.cq.String()))
+}
+
+// cleanString renders runtime markers readably: both the raw prefix and
+// its Go-quoted escape form (Value.String quotes string constants).
+func cleanString(s string) string {
+	s = strings.ReplaceAll(s, markerPrefix, "$")
+	return strings.ReplaceAll(s, `\x00plan:`, "$")
+}
+
+// Template is a plan for a Boolean UCQ with runtime parameters: extracted
+// once, executed for any concrete parameter values.
+type Template struct {
+	Params []string
+	inner  *Plan
+}
+
+// ExtractTemplate extracts a plan for a UCQ whose listed variables are
+// runtime parameters (they become constants at execution time). Disjuncts
+// that do not mention a parameter are unaffected.
+func ExtractTemplate(db *engine.Database, u ucq.UCQ, params []string) (*Template, error) {
+	binding := map[string]engine.Value{}
+	for _, h := range params {
+		binding[h] = marker(h)
+	}
+	p, err := Extract(db, u.Subst(binding))
+	if err != nil {
+		return nil, err
+	}
+	return &Template{Params: append([]string(nil), params...), inner: p}, nil
+}
+
+// ProbWith evaluates the template for concrete parameter values.
+func (tp *Template) ProbWith(vals []engine.Value) (float64, error) {
+	if len(vals) != len(tp.Params) {
+		return 0, fmt.Errorf("plan: template has %d parameters, got %d values", len(tp.Params), len(vals))
+	}
+	env := map[string]engine.Value{}
+	for i, h := range tp.Params {
+		env[h] = vals[i]
+	}
+	return tp.inner.Root.prob(&exec{db: tp.inner.db}, env)
+}
+
+// String renders the template (parameters appear as $name).
+func (tp *Template) String() string { return tp.inner.String() }
+
+// QueryPlan is a plan template for a query with head variables: extracted
+// once, executed per answer tuple.
+type QueryPlan struct {
+	Query *ucq.Query
+	tmpl  *Template
+}
+
+// ExtractQuery extracts a single plan for a non-Boolean query by treating
+// the head variables as runtime parameters; AnswerProb then evaluates it
+// for any concrete answer tuple without re-analyzing the query.
+func ExtractQuery(db *engine.Database, q *ucq.Query) (*QueryPlan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	tmpl, err := ExtractTemplate(db, q.UCQ, q.Head)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryPlan{Query: q, tmpl: tmpl}, nil
+}
+
+// AnswerProb evaluates the plan for one answer tuple.
+func (qp *QueryPlan) AnswerProb(head []engine.Value) (float64, error) {
+	if len(head) != len(qp.Query.Head) {
+		return 0, fmt.Errorf("plan: query %s has %d head variables, got %d values",
+			qp.Query.Name, len(qp.Query.Head), len(head))
+	}
+	return qp.tmpl.ProbWith(head)
+}
+
+// String renders the plan template (head variables appear as $name).
+func (qp *QueryPlan) String() string { return qp.tmpl.String() }
+
+// Answers enumerates the query's answer tuples (via the engine) and
+// evaluates the plan for each, returning heads with probabilities.
+func (qp *QueryPlan) Answers(db *engine.Database) ([]Answer, error) {
+	rows, err := ucq.Eval(db, qp.Query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, 0, len(rows))
+	for _, r := range rows {
+		p, err := qp.AnswerProb(r.Head)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Answer{Head: r.Head, Prob: p})
+	}
+	return out, nil
+}
+
+// Answer is one answer tuple with its probability.
+type Answer struct {
+	Head []engine.Value
+	Prob float64
+}

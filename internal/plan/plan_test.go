@@ -1,0 +1,326 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lift"
+	"mvdb/internal/lineage"
+	"mvdb/internal/ucq"
+)
+
+func randDB(rng *rand.Rand, negative bool) *engine.Database {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("T", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	db.MustCreateRelation("D", true, "a")
+	w := func() float64 {
+		if negative && rng.Intn(3) == 0 {
+			return -rng.Float64() * 0.4
+		}
+		return rng.Float64() * 2
+	}
+	n := 2 + rng.Int63n(2)
+	for i := int64(1); i <= n; i++ {
+		if rng.Intn(2) == 0 {
+			db.MustInsert("R", w(), engine.Int(i))
+		}
+		if rng.Intn(2) == 0 {
+			db.MustInsert("T", w(), engine.Int(i))
+		}
+		if rng.Intn(2) == 0 {
+			db.MustInsertDet("D", engine.Int(i))
+		}
+		for j := int64(0); j < rng.Int63n(3); j++ {
+			db.MustInsert("S", w(), engine.Int(i), engine.Int(10*i+j))
+		}
+	}
+	return db
+}
+
+var safeShapes = []string{
+	"Q() :- R(x)",
+	"Q() :- R(x), S(x,y)",
+	"Q() :- R(x), S(x,y), T(x)",
+	"Q() :- R(x), T(y)",
+	"Q() :- R(x)\nQ() :- T(y)",
+	"Q() :- R(x1), S(x1,y1)\nQ() :- T(x2), S(x2,y2)",
+	"Q() :- R(x), S(x,y), y > 15",
+	"Q() :- R(1)",
+	"Q() :- R(1), S(1,y)",
+	"Q() :- R(x), D(x)",
+	"Q() :- R(x), S(x,y)\nQ() :- R(x2), T(x2)",
+}
+
+func TestPlanAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		db := randDB(rng, trial%2 == 0)
+		for _, src := range safeShapes {
+			q := ucq.MustParse(src)
+			p, err := Extract(db, q.UCQ)
+			if err != nil {
+				t.Fatalf("%q: %v", src, err)
+			}
+			got, err := p.Prob()
+			if err != nil {
+				t.Fatalf("%q: %v", src, err)
+			}
+			lin, err := ucq.EvalBoolean(db, q.UCQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := lineage.BruteForceProb(lin, db.Probs())
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d %q: plan = %v brute = %v\nplan:\n%s", trial, src, got, want, p)
+			}
+		}
+	}
+}
+
+func TestPlanMatchesLift(t *testing.T) {
+	// Plans and the re-analyzing lifted evaluator must agree everywhere
+	// both succeed.
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 20; trial++ {
+		db := randDB(rng, false)
+		for _, src := range safeShapes {
+			q := ucq.MustParse(src)
+			p, err := Extract(db, q.UCQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Prob()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := lift.Prob(db, q.UCQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%q: plan %v lift %v", src, got, want)
+			}
+		}
+	}
+}
+
+func TestPlanUnsafe(t *testing.T) {
+	db := randDB(rand.New(rand.NewSource(1)), false)
+	q := ucq.MustParse("Q() :- R(x), S(x,y), T(y)") // H0
+	if _, err := Extract(db, q.UCQ); !errors.Is(err, ErrNoPlan) {
+		t.Errorf("H0: err = %v, want ErrNoPlan", err)
+	}
+}
+
+func TestPlanReusableAcrossData(t *testing.T) {
+	// A plan is extracted once and re-executed after the data changes.
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	v := db.MustInsert("R", 1, engine.Int(1))
+	db.MustInsert("S", 1, engine.Int(1), engine.Int(2))
+	q := ucq.MustParse("Q() :- R(x), S(x,y)")
+	p, err := Extract(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := p.Prob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-0.25) > 1e-12 {
+		t.Errorf("P = %v want 0.25", p1)
+	}
+	db.SetWeight(v, 3) // p(R) = 0.75
+	p2, err := p.Prob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-0.375) > 1e-12 {
+		t.Errorf("after reweight P = %v want 0.375", p2)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	db := randDB(rand.New(rand.NewSource(2)), false)
+	q := ucq.MustParse("Q() :- R(x), S(x,y)")
+	p, err := Extract(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"independent-project", "ground"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "\x00") {
+		t.Errorf("raw marker leaked into rendering:\n%s", s)
+	}
+}
+
+func TestPlanNestedProjects(t *testing.T) {
+	// R(x),S(x,y): project x, then inside each block project y — nested
+	// runtime bindings must not clobber each other.
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	rng := rand.New(rand.NewSource(9))
+	for i := int64(1); i <= 4; i++ {
+		db.MustInsert("R", rng.Float64()*2, engine.Int(i))
+		for j := int64(1); j <= 3; j++ {
+			db.MustInsert("S", rng.Float64()*2, engine.Int(i), engine.Int(100*i+j))
+		}
+	}
+	q := ucq.MustParse("Q() :- R(x), S(x,y)")
+	p, err := Extract(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Prob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, _ := ucq.EvalBoolean(db, q.UCQ)
+	want := lineage.BruteForceProb(lin, db.Probs())
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("plan = %v brute = %v\n%s", got, want, p)
+	}
+}
+
+func TestPlanDomainNarrowing(t *testing.T) {
+	// The inner project's domain must be narrowed by the outer binding: on
+	// a database with many S tuples per R value the plan stays fast (this
+	// is a structural check — the probe uses the index — not a timing one).
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	for i := int64(1); i <= 50; i++ {
+		db.MustInsert("R", 1, engine.Int(i))
+		for j := int64(1); j <= 5; j++ {
+			db.MustInsert("S", 1, engine.Int(i), engine.Int(1000*i+j))
+		}
+	}
+	q := ucq.MustParse("Q() :- R(x), S(x,y)")
+	p, err := Extract(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Prob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: 1 - (1 - 0.5(1-0.5^5))^50.
+	block := 0.5 * (1 - math.Pow(0.5, 5))
+	want := 1 - math.Pow(1-block, 50)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("plan = %v closed form = %v", got, want)
+	}
+}
+
+func TestExtractQueryPerAnswer(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	rng := rand.New(rand.NewSource(11))
+	for i := int64(1); i <= 6; i++ {
+		db.MustInsert("R", rng.Float64()*2, engine.Int(i))
+		for j := int64(1); j <= 2; j++ {
+			db.MustInsert("S", rng.Float64()*2, engine.Int(i), engine.Int(10*i+j))
+		}
+	}
+	q := ucq.MustParse("Q(x) :- R(x), S(x,y)")
+	qp, err := ExtractQuery(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qp.String(), "$x") {
+		t.Errorf("head parameter missing from plan:\n%s", qp)
+	}
+	answers, err := qp.Answers(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 6 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	// Cross-check each answer against lifted inference on the bound query.
+	for _, a := range answers {
+		b, err := q.Bind(a.Head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lift.Prob(db, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Prob-want) > 1e-9 {
+			t.Errorf("answer %v: plan %v lift %v", a.Head, a.Prob, want)
+		}
+	}
+	// Arity check.
+	if _, err := qp.AnswerProb(nil); err == nil {
+		t.Error("wrong head arity accepted")
+	}
+}
+
+func TestExtractQueryParameterizedH0(t *testing.T) {
+	// Boolean H0 is #P-hard, but with any of its variables exported as a
+	// head parameter the residual query is hierarchical, so the per-answer
+	// plan exists — the classic reason non-Boolean "unsafe" queries are
+	// often still tractable per answer.
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	db.MustCreateRelation("T", false, "b")
+	rng := rand.New(rand.NewSource(29))
+	for i := int64(1); i <= 3; i++ {
+		db.MustInsert("R", rng.Float64(), engine.Int(i))
+		db.MustInsert("T", rng.Float64(), engine.Int(10+i))
+		for j := int64(1); j <= 3; j++ {
+			db.MustInsert("S", rng.Float64(), engine.Int(i), engine.Int(10+j))
+		}
+	}
+	// Boolean H0: no plan.
+	if _, err := Extract(db, ucq.MustParse("Q() :- R(x), S(x,y), T(y)").UCQ); !errors.Is(err, ErrNoPlan) {
+		t.Errorf("Boolean H0: err = %v", err)
+	}
+	// Both parameterizations are per-answer safe and exact.
+	for _, src := range []string{
+		"Q(x) :- R(x), S(x,y), T(y)",
+		"Q(y) :- R(x), S(x,y), T(y)",
+	} {
+		q := ucq.MustParse(src)
+		qp, err := ExtractQuery(db, q)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		answers, err := qp.Answers(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(answers) == 0 {
+			t.Fatalf("%q: no answers", src)
+		}
+		for _, a := range answers {
+			b, err := q.Bind(a.Head)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lin, err := ucq.EvalBoolean(db, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := lineage.BruteForceProb(lin, db.Probs())
+			if math.Abs(a.Prob-want) > 1e-9 {
+				t.Errorf("%q answer %v: plan %v brute %v", src, a.Head, a.Prob, want)
+			}
+		}
+	}
+}

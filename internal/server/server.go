@@ -1,0 +1,207 @@
+// Package server exposes a compiled MV-index over HTTP with a small JSON
+// API, turning the library into a queryable service:
+//
+//	POST /query      {"query": "Q(a) :- Advisor(104,a)"}        → answers with probabilities
+//	POST /explain    {"query": "Q() :- Advisor(104,a)"}         → traversal statistics
+//	GET  /marginal?var=17                                        → one tuple's corrected marginal
+//	GET  /stats                                                  → index and dataset statistics
+//	GET  /healthz                                                → liveness
+//
+// The handler is safe for concurrent reads in the common case, but query
+// evaluation extends the shared OBDD manager with query nodes, so requests
+// are serialized with a mutex; the index itself is immutable while serving.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mvdb/internal/mvindex"
+	"mvdb/internal/ucq"
+)
+
+// Server wraps an MV-index as an http.Handler.
+type Server struct {
+	mu  sync.Mutex
+	ix  *mvindex.Index
+	mux *http.ServeMux
+}
+
+// New builds a server around a compiled index.
+func New(ix *mvindex.Index) *Server {
+	s := &Server{ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /marginal", s.handleMarginal)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type queryRequest struct {
+	Query string `json:"query"`
+	// CacheConscious selects CC-MVIntersect (default true).
+	CacheConscious *bool `json:"cache_conscious,omitempty"`
+}
+
+type answerJSON struct {
+	Head []any   `json:"head"`
+	Prob float64 `json:"prob"`
+}
+
+type queryResponse struct {
+	Answers []answerJSON `json:"answers"`
+	Millis  float64      `json:"millis"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	q, err := ucq.Parse(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	opts := mvindex.IntersectOptions{CacheConscious: req.CacheConscious == nil || *req.CacheConscious}
+	t0 := time.Now()
+	s.mu.Lock()
+	rows, err := s.ix.Query(q, opts)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+		return
+	}
+	resp := queryResponse{Millis: float64(time.Since(t0).Microseconds()) / 1000, Answers: []answerJSON{}}
+	for _, a := range rows {
+		head := make([]any, len(a.Head))
+		for i, v := range a.Head {
+			if v.IsStr {
+				head[i] = v.Str
+			} else {
+				head[i] = v.Int
+			}
+		}
+		resp.Answers = append(resp.Answers, answerJSON{Head: head, Prob: a.Prob})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	q, err := ucq.Parse(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	b := ucq.UCQ{Disjuncts: q.Disjuncts}
+	s.mu.Lock()
+	ex, err := s.ix.ExplainBoolean(b)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"query_nodes":   ex.QuerySize,
+		"query_vars":    ex.QueryVars,
+		"entry_block":   ex.EntryBlock,
+		"last_block":    ex.LastBlock,
+		"blocks":        ex.Blocks,
+		"span_levels":   ex.SpanLevels,
+		"index_levels":  ex.IndexLevels,
+		"pairs_visited": ex.PairsVisited,
+		"prob":          ex.Prob,
+		"summary":       ex.String(),
+	})
+}
+
+func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.URL.Query().Get("var"))
+	if err != nil || v < 1 {
+		httpError(w, http.StatusBadRequest, "var must be a positive integer")
+		return
+	}
+	s.mu.Lock()
+	p, err := s.ix.TupleMarginal(v)
+	var rel string
+	var vals []any
+	if err == nil {
+		relName, tup, terr := s.ix.Translation().DB.VarTuple(v)
+		if terr == nil {
+			rel = relName
+			for _, x := range tup.Vals {
+				if x.IsStr {
+					vals = append(vals, x.Str)
+				} else {
+					vals = append(vals, x.Int)
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"var": v, "relation": rel, "tuple": vals, "marginal": p})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tr := s.ix.Translation()
+	stats := []map[string]any{}
+	for _, st := range tr.DB.Stats() {
+		stats = append(stats, map[string]any{
+			"relation": st.Relation, "deterministic": st.Deterministic, "tuples": st.Tuples,
+		})
+	}
+	logP, sign := s.ix.LogProbNotW()
+	out := map[string]any{
+		"index_nodes":    s.ix.Size(),
+		"index_blocks":   s.ix.Blocks(),
+		"index_width":    s.ix.Width(),
+		"tuple_vars":     tr.DB.NumVars(),
+		"nv_relations":   tr.NVRelations,
+		"denial_views":   tr.DenialViews,
+		"log_p_not_w":    logP,
+		"p_not_w_sign":   sign,
+		"relations":      stats,
+		"manager_nodes":  s.ix.Manager().NumNodes(),
+		"pruned_indep":   tr.PrunedIndependent,
+		"has_constraint": tr.HasConstraints(),
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Too late for a status change; nothing sensible to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/mvindex"
+	"mvdb/internal/ucq"
+)
+
+func testServer(t *testing.T) (*Server, *core.Translation) {
+	t.Helper()
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	db.MustInsert("Adv", 2.0, engine.Int(1), engine.Int(10))
+	db.MustInsert("Adv", 2.0, engine.Int(1), engine.Int(11))
+	db.MustInsert("Adv", 1.0, engine.Int(2), engine.Int(10))
+	m := core.New(db)
+	v, err := core.ParseView("V(s,a,b) :- Adv(s,a), Adv(s,b), a <> b", core.ConstWeight(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Translate(core.TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := mvindex.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ix), tr
+}
+
+func do(t *testing.T, s *Server, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 && strings.Contains(rec.Header().Get("Content-Type"), "json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad json %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, out
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, out := do(t, s, "POST", "/query", `{"query": "Q(a) :- Adv(1,a)"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d body %s", rec.Code, rec.Body)
+	}
+	answers := out["answers"].([]any)
+	if len(answers) != 2 {
+		t.Fatalf("answers = %v", answers)
+	}
+	// Denial view makes the candidates exclusive; worlds weigh 1, 2, 2, 0,
+	// so each candidate has probability 2/5.
+	for _, a := range answers {
+		p := a.(map[string]any)["prob"].(float64)
+		if math.Abs(p-0.4) > 1e-9 {
+			t.Errorf("prob = %v want 0.4", p)
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s, _ := testServer(t)
+	rec, _ := do(t, s, "POST", "/query", `not json`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad body: code = %d", rec.Code)
+	}
+	rec, _ = do(t, s, "POST", "/query", `{"query": "syntax error("}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad query: code = %d", rec.Code)
+	}
+	rec, _ = do(t, s, "POST", "/query", `{"query": "Q(x) :- Nope(x)"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown relation: code = %d", rec.Code)
+	}
+	rec, _ = do(t, s, "GET", "/query", "")
+	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
+		t.Errorf("GET /query: code = %d", rec.Code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, out := do(t, s, "POST", "/explain", `{"query": "Q() :- Adv(1,a)"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d body %s", rec.Code, rec.Body)
+	}
+	if out["prob"].(float64) <= 0 {
+		t.Errorf("prob = %v", out["prob"])
+	}
+	if out["summary"].(string) == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestMarginalEndpoint(t *testing.T) {
+	s, tr := testServer(t)
+	rec, out := do(t, s, "GET", "/marginal?var=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d body %s", rec.Code, rec.Body)
+	}
+	if out["relation"].(string) != "Adv" {
+		t.Errorf("relation = %v", out["relation"])
+	}
+	p := out["marginal"].(float64)
+	// Cross-check against the source semantics.
+	want, err := tr.ProbBoolean(mustUCQ("Q() :- Adv(1,10)"), core.MethodBruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("marginal = %v want %v", p, want)
+	}
+	rec, _ = do(t, s, "GET", "/marginal?var=zzz", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad var: code = %d", rec.Code)
+	}
+	rec, _ = do(t, s, "GET", "/marginal?var=999", "")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("missing var: code = %d", rec.Code)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	s, _ := testServer(t)
+	rec, out := do(t, s, "GET", "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if out["index_nodes"].(float64) <= 0 || out["tuple_vars"].(float64) != 3 {
+		t.Errorf("stats = %v", out)
+	}
+	rec, _ = do(t, s, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz = %d", rec.Code)
+	}
+}
+
+func mustUCQ(src string) ucq.UCQ {
+	return ucq.MustParse(src).UCQ
+}

@@ -1,0 +1,505 @@
+package ucq
+
+import "mvdb/internal/engine"
+
+// RootVars returns the variables of a CQ that occur in every positive atom
+// (Section 4.2: "a root variable appears in all atoms of Q"). Negated atoms
+// and predicates are ignored: they never contribute Boolean variables to the
+// lineage.
+// Atoms without any variables (ground atoms) are also ignored: they denote a
+// single tuple, contribute one Boolean variable to the lineage, and never
+// break the constant-width property that root variables are used to
+// establish.
+func (c CQ) RootVars() []string { return c.rootVarsSkip(SkipGround) }
+
+// rootVarsSkip returns the variables occurring in every atom the filter
+// keeps; no roots if every atom is skipped.
+func (c CQ) rootVarsSkip(skip AtomSkip) []string {
+	var pos []Atom
+	for _, a := range c.Atoms {
+		if !skip(a) {
+			pos = append(pos, a)
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	count := map[string]int{}
+	for _, a := range pos {
+		seen := map[string]bool{}
+		for _, t := range a.Args {
+			if !t.IsConst && !seen[t.Var] {
+				seen[t.Var] = true
+				count[t.Var]++
+			}
+		}
+	}
+	var out []string
+	for _, v := range c.Vars() {
+		if count[v] == len(pos) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Separator describes a separator variable choice for a UCQ: one root
+// variable per disjunct, such that any two atoms with the same relation
+// symbol carry the separator at the same attribute position (Section 4.2).
+type Separator struct {
+	PerDisjunct []string       // chosen root variable in each disjunct
+	RelPos      map[string]int // the separator's position in each relation
+}
+
+// AtomSkip decides which atoms root-variable and separator analysis may
+// ignore. Skipped atoms contribute no Boolean variables (negated atoms,
+// ground atoms, atoms over deterministic relations), so the separator need
+// not occur in them for the per-value blocks to be tuple-independent.
+type AtomSkip func(Atom) bool
+
+// SkipGround ignores negated atoms and atoms without variables — the
+// default for OBDD concatenation analysis on a purely probabilistic schema.
+func SkipGround(a Atom) bool { return a.Negated || !atomHasVars(a) }
+
+// SkipNegated ignores only negated atoms — the strict notion needed by the
+// independent-project rule of lifted inference.
+func SkipNegated(a Atom) bool { return a.Negated }
+
+// SkipDeterministic combines a determinism oracle with the given base skip:
+// atoms over deterministic relations never contribute Boolean variables.
+func SkipDeterministic(isDet func(rel string) bool, base AtomSkip) AtomSkip {
+	return func(a Atom) bool { return base(a) || isDet(a.Rel) }
+}
+
+// FindSeparator searches for a separator of the UCQ. It enumerates
+// combinations of root variables across disjuncts (these sets are tiny in
+// practice) and checks position consistency per relation symbol.
+func (u UCQ) FindSeparator() (Separator, bool) {
+	return u.FindSeparatorSkip(SkipGround)
+}
+
+// FindSeparatorSkip is FindSeparator with a custom atom filter.
+func (u UCQ) FindSeparatorSkip(skip AtomSkip) (Separator, bool) {
+	if len(u.Disjuncts) == 0 {
+		return Separator{}, false
+	}
+	roots := make([][]string, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		roots[i] = d.rootVarsSkip(skip)
+		if len(roots[i]) == 0 {
+			return Separator{}, false
+		}
+	}
+	choice := make([]string, len(u.Disjuncts))
+	var try func(i int) (Separator, bool)
+	try = func(i int) (Separator, bool) {
+		if i == len(u.Disjuncts) {
+			if relPos, ok := consistentPositionsSkip(u, choice, skip); ok {
+				return Separator{PerDisjunct: append([]string(nil), choice...), RelPos: relPos}, true
+			}
+			return Separator{}, false
+		}
+		for _, r := range roots[i] {
+			choice[i] = r
+			if s, ok := try(i + 1); ok {
+				return s, true
+			}
+		}
+		return Separator{}, false
+	}
+	return try(0)
+}
+
+// consistentPositionsSkip checks whether, with the given root-variable
+// choice, each relation symbol sees the root variable at one common position
+// in all of its kept atoms across all disjuncts; it returns that position
+// per relation.
+func consistentPositionsSkip(u UCQ, choice []string, skip AtomSkip) (map[string]int, bool) {
+	// candidate position sets per relation
+	cand := map[string]map[int]bool{}
+	for di, d := range u.Disjuncts {
+		z := choice[di]
+		for _, a := range d.Atoms {
+			if skip(a) {
+				continue
+			}
+			positions := map[int]bool{}
+			for i, t := range a.Args {
+				if !t.IsConst && t.Var == z {
+					positions[i] = true
+				}
+			}
+			if len(positions) == 0 {
+				return nil, false // root var missing from an atom (cannot happen for true roots)
+			}
+			if prev, ok := cand[a.Rel]; ok {
+				for p := range prev {
+					if !positions[p] {
+						delete(prev, p)
+					}
+				}
+				if len(prev) == 0 {
+					return nil, false
+				}
+			} else {
+				cand[a.Rel] = positions
+			}
+		}
+	}
+	out := map[string]int{}
+	for rel, ps := range cand {
+		best := -1
+		for p := range ps {
+			if best == -1 || p < best {
+				best = p
+			}
+		}
+		out[rel] = best
+	}
+	return out, true
+}
+
+// connectedComponents splits a CQ's positive atoms into groups connected by
+// shared variables. Negated atoms and predicates are attached to the
+// component containing their variables (or to the first component if they
+// have none). Each returned CQ is an independent conjunct.
+func (c CQ) connectedComponents() []CQ {
+	n := len(c.Atoms)
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	varAtom := map[string]int{}
+	for i, a := range c.Atoms {
+		for _, t := range a.Args {
+			if t.IsConst {
+				continue
+			}
+			if j, ok := varAtom[t.Var]; ok {
+				union(i, j)
+			} else {
+				varAtom[t.Var] = i
+			}
+		}
+	}
+	// Predicates connect their variables' components.
+	for _, p := range c.Preds {
+		var vs []string
+		if !p.L.IsConst {
+			vs = append(vs, p.L.Var)
+		}
+		if !p.R.IsConst {
+			vs = append(vs, p.R.Var)
+		}
+		if len(vs) == 2 {
+			if a, ok := varAtom[vs[0]]; ok {
+				if b, ok2 := varAtom[vs[1]]; ok2 {
+					union(a, b)
+				}
+			}
+		}
+	}
+	groups := map[int]*CQ{}
+	var order []int
+	for i, a := range c.Atoms {
+		r := find(i)
+		g, ok := groups[r]
+		if !ok {
+			g = &CQ{}
+			groups[r] = g
+			order = append(order, r)
+		}
+		g.Atoms = append(g.Atoms, a)
+	}
+	for _, p := range c.Preds {
+		target := -1
+		if !p.L.IsConst {
+			if a, ok := varAtom[p.L.Var]; ok {
+				target = find(a)
+			}
+		}
+		if target == -1 && !p.R.IsConst {
+			if a, ok := varAtom[p.R.Var]; ok {
+				target = find(a)
+			}
+		}
+		if target == -1 {
+			target = order[0]
+		}
+		groups[target].Preds = append(groups[target].Preds, p)
+	}
+	out := make([]CQ, 0, len(order))
+	for _, r := range order {
+		out = append(out, *groups[r])
+	}
+	return out
+}
+
+// Components returns the independent conjuncts of the CQ (exported wrapper).
+func (c CQ) Components() []CQ { return c.connectedComponents() }
+
+// unionGroups splits the UCQ's disjuncts into groups that share no relation
+// symbols; distinct groups are independent disjunctions.
+func (u UCQ) unionGroups() []UCQ {
+	n := len(u.Disjuncts)
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	relDisj := map[string]int{}
+	for i, d := range u.Disjuncts {
+		for _, a := range d.Atoms {
+			if a.Negated {
+				continue
+			}
+			if j, ok := relDisj[a.Rel]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				relDisj[a.Rel] = i
+			}
+		}
+	}
+	groups := map[int]*UCQ{}
+	var order []int
+	for i, d := range u.Disjuncts {
+		r := find(i)
+		g, ok := groups[r]
+		if !ok {
+			g = &UCQ{}
+			groups[r] = g
+			order = append(order, r)
+		}
+		g.Disjuncts = append(g.Disjuncts, d)
+	}
+	out := make([]UCQ, 0, len(order))
+	for _, r := range order {
+		out = append(out, *groups[r])
+	}
+	return out
+}
+
+// UnionGroups returns the relation-disjoint groups of disjuncts.
+func (u UCQ) UnionGroups() []UCQ { return u.unionGroups() }
+
+// IsInversionFree reports whether the UCQ is inversion-free in the
+// operational sense of Section 4.2: every existential variable can be
+// eliminated through a separator after decomposing independent unions and
+// independent conjuncts. Inversion-free queries compile to OBDDs of
+// constant width (Proposition 2).
+func (u UCQ) IsInversionFree() bool {
+	return inversionFree(u, 0)
+}
+
+func inversionFree(u UCQ, depth int) bool {
+	if depth > 64 {
+		return false
+	}
+	// Drop disjuncts that are already ground: they contribute a fixed
+	// conjunction of Boolean variables, which never breaks constant width.
+	var live UCQ
+	for _, d := range u.Disjuncts {
+		if len(d.Vars()) > 0 {
+			live.Disjuncts = append(live.Disjuncts, d)
+		}
+	}
+	if len(live.Disjuncts) == 0 {
+		return true
+	}
+	u = live
+	// Independent unions.
+	if groups := u.unionGroups(); len(groups) > 1 {
+		for _, g := range groups {
+			if !inversionFree(g, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	// Single CQ: independent components.
+	if len(u.Disjuncts) == 1 {
+		comps := u.Disjuncts[0].connectedComponents()
+		if len(comps) > 1 {
+			for _, c := range comps {
+				if !inversionFree(UCQ{Disjuncts: []CQ{c}}, depth+1) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	// Separator required.
+	sep, ok := u.FindSeparator()
+	if !ok {
+		return false
+	}
+	// Substitute the separator by a fresh constant and recurse (data-free:
+	// one representative constant suffices for the structural check).
+	marker := engine.Str("\x00sep")
+	next := UCQ{}
+	for di, d := range u.Disjuncts {
+		next.Disjuncts = append(next.Disjuncts, d.Subst(map[string]engine.Value{sep.PerDisjunct[di]: marker}))
+	}
+	return inversionFree(next, depth+1)
+}
+
+// IsHierarchical reports whether a CQ (without self-joins this coincides
+// with safety) is hierarchical: for any two existential variables x, y, the
+// sets of atoms containing them are nested or disjoint.
+func (c CQ) IsHierarchical(head []string) bool {
+	headSet := map[string]bool{}
+	for _, h := range head {
+		headSet[h] = true
+	}
+	atomsOf := map[string]map[int]bool{}
+	for i, a := range c.Atoms {
+		if a.Negated {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsConst || headSet[t.Var] {
+				continue
+			}
+			if atomsOf[t.Var] == nil {
+				atomsOf[t.Var] = map[int]bool{}
+			}
+			atomsOf[t.Var][i] = true
+		}
+	}
+	vars := make([]string, 0, len(atomsOf))
+	for v := range atomsOf {
+		vars = append(vars, v)
+	}
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			a, b := atomsOf[vars[i]], atomsOf[vars[j]]
+			inter, aOnly, bOnly := 0, 0, 0
+			for k := range a {
+				if b[k] {
+					inter++
+				} else {
+					aOnly++
+				}
+			}
+			for k := range b {
+				if !a[k] {
+					bOnly++
+				}
+			}
+			if inter > 0 && aOnly > 0 && bOnly > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func atomHasVars(a Atom) bool {
+	for _, t := range a.Args {
+		if !t.IsConst {
+			return true
+		}
+	}
+	return false
+}
+
+// RootVarsStrict returns the variables occurring in every positive atom,
+// ground atoms included (so a conjunct containing a ground positive atom has
+// no strict root variables). Lifted inference needs this strict notion: the
+// independent-project rule is only sound when the separator really occurs in
+// every atom that can contribute Boolean variables.
+func (c CQ) RootVarsStrict() []string { return c.rootVarsSkip(SkipNegated) }
+
+// FindSeparatorStrict is FindSeparator restricted to strict root variables
+// (see RootVarsStrict); the returned separator occurs in every positive atom
+// of every disjunct, which makes the independent-project rule sound.
+func (u UCQ) FindSeparatorStrict() (Separator, bool) {
+	return u.FindSeparatorSkip(SkipNegated)
+}
+
+// CollapseEquivalentAtoms removes positive atoms that are duplicates of
+// another atom up to renaming of variables local to the atom (variables that
+// occur nowhere else in the conjunct and not in protected). For example,
+// ∃y1 S(a,y1) ∧ ∃y2 S(a,y2) collapses to ∃y S(a,y). This is a sound
+// logical simplification used before independence checks.
+func (c CQ) CollapseEquivalentAtoms(protected []string) CQ {
+	// Count variable occurrences across atoms, predicates and protected set.
+	occurs := map[string]int{}
+	for _, a := range c.Atoms {
+		seen := map[string]bool{}
+		for _, t := range a.Args {
+			if !t.IsConst && !seen[t.Var] {
+				seen[t.Var] = true
+				occurs[t.Var]++
+			}
+		}
+	}
+	for _, p := range c.Preds {
+		if !p.L.IsConst {
+			occurs[p.L.Var] += 2
+		}
+		if !p.R.IsConst {
+			occurs[p.R.Var] += 2
+		}
+	}
+	for _, v := range protected {
+		occurs[v] += 2
+	}
+	keyOf := func(a Atom) string {
+		local := map[string]int{}
+		key := a.Rel
+		if a.Negated {
+			key = "!" + key
+		}
+		for _, t := range a.Args {
+			switch {
+			case t.IsConst:
+				key += "|c" + t.Const.Key()
+			case occurs[t.Var] > 1:
+				key += "|g" + t.Var
+			default:
+				id, ok := local[t.Var]
+				if !ok {
+					id = len(local)
+					local[t.Var] = id
+				}
+				key += "|l" + string(rune('0'+id))
+			}
+		}
+		return key
+	}
+	seen := map[string]bool{}
+	out := CQ{Preds: c.Preds}
+	for _, a := range c.Atoms {
+		k := keyOf(a)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Atoms = append(out.Atoms, a)
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package ucq
+
+import (
+	"math/rand"
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lineage"
+)
+
+func cqOf(t *testing.T, src string) CQ {
+	t.Helper()
+	return MustParse(src).Disjuncts[0]
+}
+
+func TestHomomorphism(t *testing.T) {
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		// R(x),S(x,y) maps into R(a),S(a,b).
+		{"Q() :- R(x), S(x,y)", "Q() :- R(a), S(a,b)", true},
+		// S(x,y) maps into S(a,a) (collapse).
+		{"Q() :- S(x,y)", "Q() :- S(a,a)", true},
+		// S(x,x) does NOT map into S(a,b) with a≠b as variables... it does:
+		// x -> a requires S(a,a) in target; S(a,b) alone does not contain it.
+		{"Q() :- S(x,x)", "Q() :- S(a,b)", false},
+		// Constants must be preserved.
+		{"Q() :- R(1)", "Q() :- R(1)", true},
+		{"Q() :- R(1)", "Q() :- R(2)", false},
+		{"Q() :- R(x)", "Q() :- R(2)", true},
+		// Different relation: no.
+		{"Q() :- R(x)", "Q() :- T(y)", false},
+		// Longer into shorter with reuse.
+		{"Q() :- S(x,y), S(y,z)", "Q() :- S(a,a)", true},
+		{"Q() :- S(x,y), S(y,z)", "Q() :- S(a,b), S(b,c)", true},
+		{"Q() :- S(x,y), S(y,z)", "Q() :- S(a,b), S(c,d)", false},
+	}
+	for _, c := range cases {
+		from, to := cqOf(t, c.from), cqOf(t, c.to)
+		if _, got := from.HomomorphismTo(to); got != c.want {
+			t.Errorf("hom %q -> %q = %v want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestHomomorphismPredicates(t *testing.T) {
+	// Predicates must be preserved verbatim (conservative).
+	from := cqOf(t, "Q() :- S(x,y), x < y")
+	to := cqOf(t, "Q() :- S(a,b), a < b")
+	if _, ok := from.HomomorphismTo(to); !ok {
+		t.Error("identical predicate shape rejected")
+	}
+	to2 := cqOf(t, "Q() :- S(a,b)")
+	if _, ok := from.HomomorphismTo(to2); ok {
+		t.Error("dropped predicate accepted")
+	}
+	// Predicate satisfied by constants after mapping.
+	from3 := cqOf(t, "Q() :- S(x,y), x < 5")
+	to3 := cqOf(t, "Q() :- S(1,b)")
+	if _, ok := from3.HomomorphismTo(to3); !ok {
+		t.Error("constant-true predicate rejected")
+	}
+	to4 := cqOf(t, "Q() :- S(9,b)")
+	if _, ok := from3.HomomorphismTo(to4); ok {
+		t.Error("constant-false predicate accepted")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// S(x,y) ∧ S(x,z): z-atom is redundant (collapse z -> y).
+	c := cqOf(t, "Q() :- S(x,y), S(x,z)")
+	m := c.Minimize(nil)
+	if len(m.Atoms) != 1 {
+		t.Errorf("Minimize = %v", m)
+	}
+	// The triangle-free core: S(x,y),S(y,z),S(z,x) is already a core.
+	c = cqOf(t, "Q() :- S(x,y), S(y,z), S(z,x)")
+	if m = c.Minimize(nil); len(m.Atoms) != 3 {
+		t.Errorf("core shrank: %v", m)
+	}
+	// Path of length 2 collapses onto a self-loop only when one exists.
+	c = cqOf(t, "Q() :- S(x,x), S(x,y)")
+	if m = c.Minimize(nil); len(m.Atoms) != 1 {
+		t.Errorf("self-loop not a core: %v", m)
+	}
+	// Protected (head) variables must not be collapsed away.
+	c = cqOf(t, "Q(y) :- S(x,y), S(x,z)")
+	if m = c.Minimize([]string{"y"}); len(m.Atoms) != 1 {
+		// S(x,z) can still fold into S(x,y) since z is existential.
+		t.Errorf("Minimize with head = %v", m)
+	}
+	c = cqOf(t, "Q(y,z) :- S(x,y), S(x,z)")
+	if m = c.Minimize([]string{"y", "z"}); len(m.Atoms) != 2 {
+		t.Errorf("protected vars collapsed: %v", m)
+	}
+}
+
+func TestRemoveRedundantDisjuncts(t *testing.T) {
+	// R(x),S(x,y) is subsumed by S(x,y) (any match of the longer one is a
+	// match of the shorter): the union equals S(x,y).
+	q := MustParse("Q() :- S(x,y)\nQ() :- R(x), S(x,y)")
+	r := q.RemoveRedundantDisjuncts(nil)
+	if len(r.Disjuncts) != 1 || len(r.Disjuncts[0].Atoms) != 1 {
+		t.Errorf("RemoveRedundantDisjuncts = %v", r)
+	}
+	// Equivalent duplicates: keep exactly one.
+	q = MustParse("Q() :- R(x)\nQ() :- R(y)")
+	r = q.RemoveRedundantDisjuncts(nil)
+	if len(r.Disjuncts) != 1 {
+		t.Errorf("duplicates kept: %v", r)
+	}
+	// Incomparable disjuncts survive.
+	q = MustParse("Q() :- R(x)\nQ() :- T(y)")
+	r = q.RemoveRedundantDisjuncts(nil)
+	if len(r.Disjuncts) != 2 {
+		t.Errorf("incomparable dropped: %v", r)
+	}
+}
+
+// TestRedundancySemantics: removing redundant disjuncts never changes the
+// lineage semantics, verified on random databases.
+func TestRedundancySemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	queries := []string{
+		"Q() :- S(x,y)\nQ() :- R(x), S(x,y)",
+		"Q() :- R(x)\nQ() :- R(y)\nQ() :- R(z), T(z)",
+		"Q() :- S(x,y), S(x,z)\nQ() :- S(a,b)",
+	}
+	for trial := 0; trial < 20; trial++ {
+		db := engine.NewDatabase()
+		db.MustCreateRelation("R", false, "a")
+		db.MustCreateRelation("T", false, "a")
+		db.MustCreateRelation("S", false, "a", "b")
+		for i := int64(1); i <= 3; i++ {
+			if rng.Intn(2) == 0 {
+				db.MustInsert("R", 1, engine.Int(i))
+			}
+			if rng.Intn(2) == 0 {
+				db.MustInsert("T", 1, engine.Int(i))
+			}
+			for j := int64(1); j <= 2; j++ {
+				if rng.Intn(2) == 0 {
+					db.MustInsert("S", 1, engine.Int(i), engine.Int(j))
+				}
+			}
+		}
+		for _, src := range queries {
+			q := MustParse(src)
+			reduced := q.RemoveRedundantDisjuncts(nil)
+			a, err := EvalBoolean(db, q.UCQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := EvalBoolean(db, reduced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lineage.DNF(a).Normalize().String() != lineage.DNF(b).Normalize().String() {
+				t.Fatalf("trial %d %q: lineage changed:\n%v\nvs\n%v", trial, src,
+					a.Normalize(), b.Normalize())
+			}
+		}
+	}
+}
+
+// TestQuickHomomorphismSoundness: whenever HomomorphismTo(c, d) reports a
+// homomorphism, containment d ⊆ c must hold on random databases — every
+// database where d has a match, c has one too.
+func TestQuickHomomorphismSoundness(t *testing.T) {
+	shapes := []string{
+		"Q() :- S(x,y)",
+		"Q() :- S(x,x)",
+		"Q() :- S(x,y), S(y,z)",
+		"Q() :- S(x,y), S(y,x)",
+		"Q() :- R(x), S(x,y)",
+		"Q() :- R(x), S(x,y), S(y,z)",
+		"Q() :- S(1,y)",
+		"Q() :- R(x), S(x,y), x < y",
+	}
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		db := engine.NewDatabase()
+		db.MustCreateRelation("R", false, "a")
+		db.MustCreateRelation("S", false, "a", "b")
+		n := int64(1 + rng.Intn(3))
+		for i := int64(1); i <= n; i++ {
+			if rng.Intn(2) == 0 {
+				db.MustInsert("R", 1, engine.Int(i))
+			}
+			for j := int64(1); j <= n; j++ {
+				if rng.Intn(2) == 0 {
+					db.MustInsert("S", 1, engine.Int(i), engine.Int(j))
+				}
+			}
+		}
+		for _, cs := range shapes {
+			for _, ds := range shapes {
+				c, d := cqOf(t, cs), cqOf(t, ds)
+				if _, ok := c.HomomorphismTo(d); !ok {
+					continue
+				}
+				lc, err := EvalBoolean(db, UCQ{Disjuncts: []CQ{c}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ld, err := EvalBoolean(db, UCQ{Disjuncts: []CQ{d}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ld.IsFalse() && lc.IsFalse() {
+					t.Fatalf("hom %q -> %q but d matched and c did not", cs, ds)
+				}
+			}
+		}
+	}
+}
+
+func TestContainsUCQAndEquivalence(t *testing.T) {
+	parse := func(src string) UCQ { return MustParse(src).UCQ }
+	// Subsumption: S(x,y) contains R(x),S(x,y).
+	a := parse("Q() :- S(x,y)")
+	b := parse("Q() :- R(x), S(x,y)")
+	if !ContainsUCQ(a, b) {
+		t.Error("S(x,y) should contain R,S")
+	}
+	if ContainsUCQ(b, a) {
+		t.Error("R,S should not contain S alone")
+	}
+	// Union equivalence up to disjunct order and duplicates.
+	u1 := parse("Q() :- R(x)\nQ() :- T(y)")
+	u2 := parse("Q() :- T(a)\nQ() :- R(b)\nQ() :- R(c)")
+	if !EquivalentBool(u1, u2) {
+		t.Error("reordered/duplicated unions should be equivalent")
+	}
+	// Minimization preserves equivalence.
+	c := parse("Q() :- S(x,y), S(x,z)")
+	min := UCQ{Disjuncts: []CQ{c.Disjuncts[0].Minimize(nil)}}
+	if !EquivalentBool(c, min) {
+		t.Error("minimized CQ not equivalent to original")
+	}
+	// Different relations are not equivalent.
+	if EquivalentBool(parse("Q() :- R(x)"), parse("Q() :- T(x)")) {
+		t.Error("R and T equivalent?")
+	}
+	// Semantics spot check on random DBs: equivalence implies equal lineage.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		db := engine.NewDatabase()
+		db.MustCreateRelation("R", false, "a")
+		db.MustCreateRelation("T", false, "a")
+		db.MustCreateRelation("S", false, "a", "b")
+		for i := int64(1); i <= 3; i++ {
+			if rng.Intn(2) == 0 {
+				db.MustInsert("R", 1, engine.Int(i))
+			}
+			if rng.Intn(2) == 0 {
+				db.MustInsert("T", 1, engine.Int(i))
+			}
+		}
+		l1, _ := EvalBoolean(db, u1)
+		l2, _ := EvalBoolean(db, u2)
+		if lineage.DNF(l1).Normalize().String() != lineage.DNF(l2).Normalize().String() {
+			t.Fatalf("equivalent unions disagree on lineage")
+		}
+	}
+}

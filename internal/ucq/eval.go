@@ -1,0 +1,399 @@
+package ucq
+
+import (
+	"fmt"
+	"sort"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lineage"
+)
+
+// AnswerRow is one output tuple of a query together with its lineage over
+// the probabilistic tuples of the database.
+type AnswerRow struct {
+	Head    []engine.Value
+	Lineage lineage.DNF
+}
+
+// Eval evaluates a named query and returns one row per distinct head tuple
+// that is an answer in at least one possible world, with its lineage DNF.
+// Rows are sorted by head tuple.
+func Eval(db *engine.Database, q *Query) ([]AnswerRow, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	acc := newAccumulator()
+	for _, d := range q.Disjuncts {
+		if err := evalCQ(db, d, q.Head, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc.rows(), nil
+}
+
+// EvalBoolean evaluates a Boolean UCQ (no head variables) and returns its
+// lineage. The lineage is false when no disjunct has a match.
+func EvalBoolean(db *engine.Database, u UCQ) (lineage.DNF, error) {
+	acc := newAccumulator()
+	for _, d := range u.Disjuncts {
+		if err := evalCQ(db, d, nil, acc); err != nil {
+			return nil, err
+		}
+	}
+	rs := acc.rows()
+	if len(rs) == 0 {
+		return lineage.False(), nil
+	}
+	return rs[0].Lineage, nil
+}
+
+// accumulator groups derivations by head tuple and deduplicates terms.
+type accumulator struct {
+	byHead map[string]*answerAcc
+	order  []string
+}
+
+type answerAcc struct {
+	head  []engine.Value
+	seen  map[string]bool
+	terms lineage.DNF
+}
+
+func newAccumulator() *accumulator {
+	return &accumulator{byHead: map[string]*answerAcc{}}
+}
+
+func (acc *accumulator) add(head []engine.Value, term []int) {
+	k := engine.TupleKey(head)
+	a, ok := acc.byHead[k]
+	if !ok {
+		a = &answerAcc{head: append([]engine.Value(nil), head...), seen: map[string]bool{}}
+		acc.byHead[k] = a
+		acc.order = append(acc.order, k)
+	}
+	t := lineage.Term(term...)
+	tk := fmt.Sprint(t)
+	if !a.seen[tk] {
+		a.seen[tk] = true
+		a.terms = append(a.terms, t)
+	}
+}
+
+func (acc *accumulator) rows() []AnswerRow {
+	out := make([]AnswerRow, 0, len(acc.order))
+	for _, k := range acc.order {
+		a := acc.byHead[k]
+		out = append(out, AnswerRow{Head: a.head, Lineage: a.terms})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return engine.TupleKey(out[i].Head) < engine.TupleKey(out[j].Head)
+	})
+	return out
+}
+
+// evalCQ enumerates all satisfying assignments of one conjunctive query and
+// feeds (head, derivation term) pairs into the accumulator.
+func evalCQ(db *engine.Database, cq CQ, head []string, acc *accumulator) error {
+	var positive, negated []Atom
+	for _, a := range cq.Atoms {
+		r := db.Relation(a.Rel)
+		if r == nil {
+			return fmt.Errorf("ucq: unknown relation %s", a.Rel)
+		}
+		if len(a.Args) != r.Arity() {
+			return fmt.Errorf("ucq: relation %s has arity %d, atom has %d arguments", a.Rel, r.Arity(), len(a.Args))
+		}
+		if a.Negated {
+			if !r.Deterministic {
+				return fmt.Errorf("ucq: negation on probabilistic relation %s is not allowed", a.Rel)
+			}
+			negated = append(negated, a)
+		} else {
+			positive = append(positive, a)
+		}
+	}
+	if len(positive) == 0 {
+		return fmt.Errorf("ucq: conjunct has no positive atoms")
+	}
+
+	st := &evalState{
+		db:       db,
+		positive: positive,
+		negated:  negated,
+		preds:    cq.Preds,
+		head:     head,
+		binding:  map[string]engine.Value{},
+		done:     make([]bool, len(positive)),
+		acc:      acc,
+	}
+	return st.run(0)
+}
+
+type evalState struct {
+	db       *engine.Database
+	positive []Atom
+	negated  []Atom
+	preds    []Pred
+	head     []string
+	binding  map[string]engine.Value
+	done     []bool
+	term     []int // probabilistic tuple vars on the current path
+	acc      *accumulator
+
+	predDone []bool
+	negDone  []bool
+}
+
+func (st *evalState) run(processed int) error {
+	if st.predDone == nil {
+		st.predDone = make([]bool, len(st.preds))
+		st.negDone = make([]bool, len(st.negated))
+	}
+	// Evaluate any predicate or negated atom whose variables are all bound.
+	var checkedPreds, checkedNegs []int
+	defer func() {
+		for _, i := range checkedPreds {
+			st.predDone[i] = false
+		}
+		for _, i := range checkedNegs {
+			st.negDone[i] = false
+		}
+	}()
+	for i, p := range st.preds {
+		if st.predDone[i] {
+			continue
+		}
+		l, okL := st.resolve(p.L)
+		r, okR := st.resolve(p.R)
+		if okL && okR {
+			if !p.EvalBound(l, r) {
+				return nil
+			}
+			st.predDone[i] = true
+			checkedPreds = append(checkedPreds, i)
+		}
+	}
+	for i, a := range st.negated {
+		if st.negDone[i] {
+			continue
+		}
+		vals := make([]engine.Value, len(a.Args))
+		allBound := true
+		for j, t := range a.Args {
+			v, ok := st.resolve(t)
+			if !ok {
+				allBound = false
+				break
+			}
+			vals[j] = v
+		}
+		if allBound {
+			if st.db.Relation(a.Rel).Lookup(vals) >= 0 {
+				return nil // negated atom violated
+			}
+			st.negDone[i] = true
+			checkedNegs = append(checkedNegs, i)
+		}
+	}
+
+	if processed == len(st.positive) {
+		// All atoms matched; predicates and negations must all be resolved.
+		for i := range st.preds {
+			if !st.predDone[i] {
+				return fmt.Errorf("ucq: predicate %s has unbound variables", st.preds[i])
+			}
+		}
+		for i := range st.negated {
+			if !st.negDone[i] {
+				return fmt.Errorf("ucq: negated atom %s has unbound variables", st.negated[i])
+			}
+		}
+		headVals := make([]engine.Value, len(st.head))
+		for i, h := range st.head {
+			v, ok := st.binding[h]
+			if !ok {
+				return fmt.Errorf("ucq: head variable %s unbound", h)
+			}
+			headVals[i] = v
+		}
+		st.acc.add(headVals, st.term)
+		return nil
+	}
+
+	// Choose the next atom greedily by its actual candidate count under the
+	// current binding: the size of the index bucket on its first bound
+	// column, or the full relation size when nothing is bound yet. This is
+	// exact selectivity, not an estimate — one map lookup per atom — and it
+	// both prunes dead branches immediately (zero candidates) and avoids
+	// joining through a large intermediate (e.g. Pub by year instead of
+	// Wrote by author in the V1 materialization).
+	best, bestCost := -1, 0
+	for i, a := range st.positive {
+		if st.done[i] {
+			continue
+		}
+		rel := st.db.Relation(a.Rel)
+		cost := rel.Len()
+		for pos, t := range a.Args {
+			if v, ok := st.resolve(t); ok {
+				cost = len(rel.MatchingIndexes(pos, v))
+				break
+			}
+		}
+		if best == -1 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	a := st.positive[best]
+	rel := st.db.Relation(a.Rel)
+	st.done[best] = true
+	defer func() { st.done[best] = false }()
+
+	candidates := st.candidates(rel, a)
+	for _, ti := range candidates {
+		tup := rel.Tuples[ti]
+		newVars := st.tryBind(a, tup.Vals)
+		if newVars == nil {
+			continue
+		}
+		pushedVar := false
+		if tup.Var != 0 {
+			st.term = append(st.term, tup.Var)
+			pushedVar = true
+		}
+		err := st.run(processed + 1)
+		if pushedVar {
+			st.term = st.term[:len(st.term)-1]
+		}
+		for _, v := range newVars {
+			delete(st.binding, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolve returns the value of a term under the current binding.
+func (st *evalState) resolve(t Term) (engine.Value, bool) {
+	if t.IsConst {
+		return t.Const, true
+	}
+	v, ok := st.binding[t.Var]
+	return v, ok
+}
+
+// candidates returns indexes of tuples possibly matching the atom, using a
+// hash index on the first bound position when available, and otherwise
+// pushing constant range predicates (year > 2004, y <= yp + 5 with yp
+// bound) down to a sorted-index range scan.
+func (st *evalState) candidates(rel *engine.Relation, a Atom) []int {
+	for i, t := range a.Args {
+		if v, ok := st.resolve(t); ok {
+			return rel.MatchingIndexes(i, v)
+		}
+	}
+	for i, t := range a.Args {
+		if t.IsConst {
+			continue
+		}
+		if eq, lo, loIncl, hi, hiIncl, ok := st.boundsFor(t.Var); ok {
+			if eq != nil {
+				return rel.MatchingIndexes(i, *eq)
+			}
+			return rel.RangeScan(i, lo, loIncl, hi, hiIncl)
+		}
+	}
+	all := make([]int, rel.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// boundsFor derives constant bounds on a variable from the conjunct's
+// comparison predicates whose other side is (or resolves to) an integer.
+// It returns either an equality value or a half/fully bounded interval.
+func (st *evalState) boundsFor(v string) (eq *engine.Value, lo *engine.Value, loIncl bool, hi *engine.Value, hiIncl bool, ok bool) {
+	setLo := func(x int64, incl bool) {
+		nv := engine.Int(x)
+		if lo == nil || nv.Compare(*lo) > 0 || (nv.Compare(*lo) == 0 && !incl) {
+			lo, loIncl = &nv, incl
+		}
+		ok = true
+	}
+	setHi := func(x int64, incl bool) {
+		nv := engine.Int(x)
+		if hi == nil || nv.Compare(*hi) < 0 || (nv.Compare(*hi) == 0 && !incl) {
+			hi, hiIncl = &nv, incl
+		}
+		ok = true
+	}
+	for _, p := range st.preds {
+		if p.Op == OpLike || p.Op == OpNE {
+			continue
+		}
+		// v on the left: v op (c + offset).
+		if !p.L.IsConst && p.L.Var == v {
+			if c, bound := st.resolve(p.R); bound && !c.IsStr {
+				x := c.Int + p.Offset
+				switch p.Op {
+				case OpEQ:
+					nv := engine.Int(x)
+					return &nv, nil, false, nil, false, true
+				case OpLT:
+					setHi(x, false)
+				case OpLE:
+					setHi(x, true)
+				case OpGT:
+					setLo(x, false)
+				case OpGE:
+					setLo(x, true)
+				}
+			}
+			continue
+		}
+		// v on the right: c op (v + offset)  ⇔  v op' (c - offset).
+		if !p.R.IsConst && p.R.Var == v {
+			if c, bound := st.resolve(p.L); bound && !c.IsStr {
+				x := c.Int - p.Offset
+				switch p.Op {
+				case OpEQ:
+					nv := engine.Int(x)
+					return &nv, nil, false, nil, false, true
+				case OpLT: // c < v + off  ⇔  v > c - off
+					setLo(x, false)
+				case OpLE:
+					setLo(x, true)
+				case OpGT:
+					setHi(x, false)
+				case OpGE:
+					setHi(x, true)
+				}
+			}
+		}
+	}
+	return eq, lo, loIncl, hi, hiIncl, ok
+}
+
+// tryBind unifies the atom's arguments with the tuple values, extending the
+// binding. It returns the list of newly bound variables, or nil if the
+// tuple does not match.
+func (st *evalState) tryBind(a Atom, vals []engine.Value) []string {
+	newVars := []string{}
+	for i, t := range a.Args {
+		if v, ok := st.resolve(t); ok {
+			if !v.Equal(vals[i]) {
+				for _, nv := range newVars {
+					delete(st.binding, nv)
+				}
+				return nil
+			}
+			continue
+		}
+		st.binding[t.Var] = vals[i]
+		newVars = append(newVars, t.Var)
+	}
+	return newVars
+}

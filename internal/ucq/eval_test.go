@@ -1,0 +1,360 @@
+package ucq
+
+import (
+	"math"
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/lineage"
+)
+
+// fig3DB builds the database of Figure 3: R{a1,a2}, S{(a1,b1),(a1,b2),
+// (a2,b3),(a2,b4)} with variables X1,X2,Y1..Y4 in insertion order.
+func fig3DB() *engine.Database {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	db.MustInsert("R", 1, engine.Int(1))                 // X1 = var 1
+	db.MustInsert("R", 1, engine.Int(2))                 // X2 = var 2
+	db.MustInsert("S", 1, engine.Int(1), engine.Int(11)) // Y1 = var 3
+	db.MustInsert("S", 1, engine.Int(1), engine.Int(12)) // Y2 = var 4
+	db.MustInsert("S", 1, engine.Int(2), engine.Int(13)) // Y3 = var 5
+	db.MustInsert("S", 1, engine.Int(2), engine.Int(14)) // Y4 = var 6
+	return db
+}
+
+func TestEvalBooleanFig3(t *testing.T) {
+	db := fig3DB()
+	q := MustParse("Q() :- R(x), S(x,y)")
+	got, err := EvalBoolean(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lineage.DNF{{1, 3}, {1, 4}, {2, 5}, {2, 6}}
+	if got.Normalize().String() != want.Normalize().String() {
+		t.Errorf("lineage = %v want %v", got.Normalize(), want.Normalize())
+	}
+}
+
+func TestEvalWithHead(t *testing.T) {
+	db := fig3DB()
+	q := MustParse("Q(x) :- R(x), S(x,y)")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if !rows[0].Head[0].Equal(engine.Int(1)) || !rows[1].Head[0].Equal(engine.Int(2)) {
+		t.Errorf("heads = %v, %v", rows[0].Head, rows[1].Head)
+	}
+	if rows[0].Lineage.Normalize().String() != (lineage.DNF{{1, 3}, {1, 4}}).Normalize().String() {
+		t.Errorf("lineage(1) = %v", rows[0].Lineage)
+	}
+}
+
+func TestEvalPredicates(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("P", false, "a", "year")
+	v1 := db.MustInsert("P", 1, engine.Int(1), engine.Int(2000))
+	db.MustInsert("P", 1, engine.Int(2), engine.Int(2010))
+	q := MustParse("Q(a) :- P(a,y), y < 2005")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Head[0].Equal(engine.Int(1)) {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if len(rows[0].Lineage) != 1 || rows[0].Lineage[0][0] != v1 {
+		t.Errorf("lineage = %v", rows[0].Lineage)
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Author", true, "aid", "name")
+	db.MustInsertDet("Author", engine.Int(1), engine.Str("Sam Madden"))
+	db.MustInsertDet("Author", engine.Int(2), engine.Str("Dan Suciu"))
+	db.MustCreateRelation("Adv", false, "s", "a")
+	v := db.MustInsert("Adv", 1, engine.Int(10), engine.Int(1))
+	db.MustInsert("Adv", 1, engine.Int(11), engine.Int(2))
+	q := MustParse("Q(s) :- Adv(s,a), Author(a,n), n like '%Madden%'")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Head[0].Equal(engine.Int(10)) {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Lineage[0][0] != v {
+		t.Errorf("lineage = %v", rows[0].Lineage)
+	}
+}
+
+func TestEvalNegation(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("D", true, "a")
+	db.MustInsert("R", 1, engine.Int(1))
+	db.MustInsert("R", 1, engine.Int(2))
+	db.MustInsertDet("D", engine.Int(2))
+	q := MustParse("Q(x) :- R(x), not D(x)")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Head[0].Equal(engine.Int(1)) {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestEvalNegationOnProbabilisticRejected(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("P", false, "a")
+	db.MustInsert("R", 1, engine.Int(1))
+	q := MustParse("Q(x) :- R(x), not P(x)")
+	if _, err := Eval(db, q); err == nil {
+		t.Error("negation on probabilistic relation accepted")
+	}
+}
+
+func TestEvalUnknownRelation(t *testing.T) {
+	db := engine.NewDatabase()
+	q := MustParse("Q(x) :- Nope(x)")
+	if _, err := Eval(db, q); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestEvalArityMismatch(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a", "b")
+	db.MustInsert("R", 1, engine.Int(1), engine.Int(2))
+	q := MustParse("Q(x) :- R(x)")
+	if _, err := Eval(db, q); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestEvalRepeatedVariable(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("E", false, "a", "b")
+	db.MustInsert("E", 1, engine.Int(1), engine.Int(1))
+	db.MustInsert("E", 1, engine.Int(1), engine.Int(2))
+	q := MustParse("Q(x) :- E(x,x)")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Head[0].Equal(engine.Int(1)) {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestEvalSelfJoin(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	v1 := db.MustInsert("Adv", 1, engine.Int(1), engine.Int(10))
+	v2 := db.MustInsert("Adv", 1, engine.Int(1), engine.Int(11))
+	db.MustInsert("Adv", 1, engine.Int(2), engine.Int(10))
+	// V2 of the paper: a person with two advisors.
+	q := MustParse("Q(x) :- Adv(x,a), Adv(x,b), a <> b")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Head[0].Equal(engine.Int(1)) {
+		t.Fatalf("rows = %+v", rows)
+	}
+	want := lineage.DNF{{v1, v2}}
+	if rows[0].Lineage.Normalize().String() != want.Normalize().String() {
+		t.Errorf("lineage = %v want %v", rows[0].Lineage.Normalize(), want)
+	}
+}
+
+func TestEvalUnionLineage(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("T", false, "a")
+	v1 := db.MustInsert("R", 1, engine.Int(1))
+	v2 := db.MustInsert("T", 1, engine.Int(1))
+	q := MustParse("Q(x) :- R(x)\nQ(x) :- T(x)")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	want := lineage.DNF{{v1}, {v2}}
+	if rows[0].Lineage.Normalize().String() != want.Normalize().String() {
+		t.Errorf("lineage = %v", rows[0].Lineage)
+	}
+}
+
+func TestEvalDeterministicOnlyLineage(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("D", true, "a")
+	db.MustInsertDet("D", engine.Int(1))
+	q := MustParse("Q() :- D(x)")
+	lin, err := EvalBoolean(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin.IsTrue() {
+		t.Errorf("lineage over deterministic data = %v, want true", lin)
+	}
+}
+
+func TestEvalEmptyResult(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	q := MustParse("Q() :- R(x)")
+	lin, err := EvalBoolean(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin.IsFalse() {
+		t.Errorf("lineage = %v, want false", lin)
+	}
+}
+
+func TestBindValues(t *testing.T) {
+	q := MustParse("Q(x,y) :- R(x,y,z)")
+	b, err := q.Bind([]engine.Value{engine.Int(1), engine.Str("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom := b.Disjuncts[0].Atoms[0]
+	if !atom.Args[0].IsConst || atom.Args[0].Const.Int != 1 {
+		t.Errorf("bound atom = %+v", atom)
+	}
+	if !atom.Args[1].IsConst || atom.Args[1].Const.Str != "a" {
+		t.Errorf("bound atom = %+v", atom)
+	}
+	if atom.Args[2].IsConst {
+		t.Errorf("z should stay a variable: %+v", atom)
+	}
+	if _, err = q.Bind([]engine.Value{engine.Int(1)}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+// TestEvalLineageProbability cross-checks the evaluator against a manual
+// computation: P(Q) for Q()-R(x),S(x,y) on Figure 3 with all probs 1/2.
+func TestEvalLineageProbability(t *testing.T) {
+	db := fig3DB()
+	q := MustParse("Q() :- R(x), S(x,y)")
+	lin, err := EvalBoolean(db, q.UCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lineage.BruteForceProb(lin, db.Probs())
+	// P = 1 - (1 - p(X1)(1-(1-p)(1-p)))^2 ... compute directly:
+	pBlock := 0.5 * (1 - 0.25) // X_i and at least one Y
+	want := 1 - (1-pBlock)*(1-pBlock)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P = %v want %v", got, want)
+	}
+}
+
+func TestRangePushdown(t *testing.T) {
+	// A query whose only selective part is a range predicate; results must
+	// match the unoptimized semantics.
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Pub", true, "pid", "year")
+	for i := int64(1); i <= 200; i++ {
+		db.MustInsertDet("Pub", engine.Int(i), engine.Int(1990+(i%30)))
+	}
+	db.MustCreateRelation("R", false, "pid")
+	for i := int64(1); i <= 200; i += 3 {
+		db.MustInsert("R", 1, engine.Int(i))
+	}
+	q := MustParse("Q(p) :- Pub(p,y), R(p), y > 2004, y <= 2008")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: filter manually.
+	want := 0
+	pub := db.Relation("Pub")
+	for _, tup := range pub.Tuples {
+		y := tup.Vals[1].Int
+		if y > 2004 && y <= 2008 && tup.Vals[0].Int%3 == 1 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Errorf("rows = %d want %d", len(rows), want)
+	}
+}
+
+func TestRangePushdownWithOffsets(t *testing.T) {
+	// year >= yp - 1 with yp bound: the Figure 1 Studentp window.
+	db := engine.NewDatabase()
+	db.MustCreateRelation("First", true, "aid", "yp")
+	db.MustCreateRelation("Cal", true, "year")
+	db.MustInsertDet("First", engine.Int(1), engine.Int(2000))
+	for y := int64(1990); y <= 2010; y++ {
+		db.MustInsertDet("Cal", engine.Int(y))
+	}
+	q := MustParse("Q(y) :- First(1,yp), Cal(y), y >= yp - 1, y <= yp + 5")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // 1999..2005
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Head[0].Int != 1999 || rows[6].Head[0].Int != 2005 {
+		t.Errorf("range = %v..%v", rows[0].Head[0].Int, rows[6].Head[0].Int)
+	}
+}
+
+func TestEqualityPushdown(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Cal", true, "year")
+	for y := int64(1990); y <= 2010; y++ {
+		db.MustInsertDet("Cal", engine.Int(y))
+	}
+	q := MustParse("Q(y) :- Cal(y), y = 2003")
+	rows, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Head[0].Int != 2003 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestBoundsForEdgeCases(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Cal", true, "year")
+	for y := int64(2000); y <= 2010; y++ {
+		db.MustInsertDet("Cal", engine.Int(y))
+	}
+	// Conflicting bounds -> empty result, no error.
+	q := MustParse("Q(y) :- Cal(y), y > 2008, y < 2003")
+	rows, err := Eval(db, q)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("conflicting bounds: %d rows, %v", len(rows), err)
+	}
+	// NE predicates are not pushed but still filter.
+	q = MustParse("Q(y) :- Cal(y), y <> 2005, y >= 2004, y <= 2006")
+	rows, err = Eval(db, q)
+	if err != nil || len(rows) != 2 {
+		t.Errorf("NE filter: %d rows, %v", len(rows), err)
+	}
+	// String comparisons are not pushed through integer bounds.
+	db.MustCreateRelation("Names", true, "n")
+	db.MustInsertDet("Names", engine.Str("bob"))
+	db.MustInsertDet("Names", engine.Str("eve"))
+	q = MustParse("Q(n) :- Names(n), n > 'carol'")
+	rows, err = Eval(db, q)
+	if err != nil || len(rows) != 1 || rows[0].Head[0].Str != "eve" {
+		t.Errorf("string compare: %+v, %v", rows, err)
+	}
+}

@@ -1,0 +1,72 @@
+package ucq
+
+import (
+	"testing"
+
+	"mvdb/internal/engine"
+)
+
+// FuzzParse ensures the parser never panics and that anything it accepts
+// round-trips through String back to an equivalent parse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Q(x) :- R(x,y), S(y)",
+		"Q() :- R(x), S(x,y), T(y)",
+		"Q(aid) :- Student(aid,year), Advisor(aid,a), Author(a,n), n like '%Madden%'",
+		"Q(x) :- R(x), x > 3, x <= 7, x <> 5",
+		"Q(x) :- R(x)\nQ(x) :- T(x)",
+		"Q(x) :- R(x), not D(x)",
+		"V1(aid1,aid2) :- Advisor(aid1,aid2), Student(aid1,year)",
+		"Q(x) :- R('str with spaces', x)",
+		"# comment\nQ(x) :- R(x)",
+		"Q(x) :- R(-42, x)",
+		"Q(",
+		") :- (",
+		"Q(x) :- R(x), 'unterminated",
+		"Q(x) :- R(x) garbage",
+		"∀(x) :- R(x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		again, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, q.String(), err)
+		}
+		if again.String() != q.String() {
+			t.Fatalf("render not a fixed point: %q vs %q", q.String(), again.String())
+		}
+	})
+}
+
+// FuzzSubstitution: binding head variables never panics and removes those
+// variables from the query.
+func FuzzSubstitution(f *testing.F) {
+	f.Add("Q(x,y) :- R(x,y,z), S(z,x)", int64(3), "v")
+	f.Add("Q(a) :- R(a,b)", int64(-1), "")
+	f.Fuzz(func(t *testing.T, src string, iv int64, sv string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(q.Head) != 2 {
+			return
+		}
+		b, err := q.Bind([]engine.Value{engine.Int(iv), engine.Str(sv)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range b.Disjuncts {
+			for _, v := range d.Vars() {
+				if v == q.Head[0] || v == q.Head[1] {
+					t.Fatalf("head variable %q survived binding", v)
+				}
+			}
+		}
+	})
+}

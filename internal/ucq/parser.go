@@ -1,0 +1,467 @@
+package ucq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a query in datalog notation. The input may contain several
+// rules; rules sharing the same head name are unioned into one UCQ:
+//
+//	Q(aid) :- Student(aid,y), Advisor(aid,a), Author(a,n), n like '%Madden%'
+//	Q(aid) :- Emeritus(aid)
+//
+// The body is a comma-separated list of atoms R(t1,...,tk), negated atoms
+// "not R(...)", and comparison predicates using <, <=, =, <>, !=, >=, >, and
+// "like". Constants are integers or quoted strings; identifiers starting
+// with a lowercase letter are variables, relation names may be any
+// identifier. Blank lines and lines starting with # or -- are ignored.
+func Parse(src string) (*Query, error) {
+	qs, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(qs) != 1 {
+		return nil, fmt.Errorf("ucq: expected a single query, got %d", len(qs))
+	}
+	return qs[0], nil
+}
+
+// ParseProgram parses a set of rules into queries, grouping rules by head
+// name, preserving first-appearance order.
+func ParseProgram(src string) ([]*Query, error) {
+	byName := map[string]*Query{}
+	var order []string
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		name, head, body, err := parseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		q, ok := byName[name]
+		if !ok {
+			q = &Query{Name: name, Head: head}
+			byName[name] = q
+			order = append(order, name)
+		} else if !equalStrings(q.Head, head) {
+			return nil, fmt.Errorf("line %d: rule for %s has head (%s), earlier rule had (%s)",
+				ln+1, name, strings.Join(head, ","), strings.Join(q.Head, ","))
+		}
+		q.Disjuncts = append(q.Disjuncts, body)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("ucq: no rules in input")
+	}
+	out := make([]*Query, 0, len(order))
+	for _, n := range order {
+		q := byName[n]
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseRule(line string) (name string, head []string, body CQ, err error) {
+	lx := &lexer{src: line}
+	if err = lx.tokenize(); err != nil {
+		return
+	}
+	p := &parser{toks: lx.toks}
+	return p.rule()
+}
+
+type tokKind int
+
+const (
+	tIdent tokKind = iota
+	tInt
+	tStr
+	tLParen
+	tRParen
+	tComma
+	tOp        // < <= = <> != >= >
+	tPlusMinus // + or - in predicate offsets
+	tArrow     // :-
+	tEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func (lx *lexer) tokenize() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t':
+			lx.pos++
+		case c == '(':
+			lx.emit(tLParen, "(")
+		case c == ')':
+			lx.emit(tRParen, ")")
+		case c == ',':
+			lx.emit(tComma, ",")
+		case c == ':':
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-' {
+				lx.toks = append(lx.toks, token{tArrow, ":-"})
+				lx.pos += 2
+			} else {
+				return fmt.Errorf("unexpected ':' at %d", lx.pos)
+			}
+		case c == '<':
+			switch {
+			case lx.peek(1) == '=':
+				lx.emit2(tOp, "<=")
+			case lx.peek(1) == '>':
+				lx.emit2(tOp, "<>")
+			default:
+				lx.emit(tOp, "<")
+			}
+		case c == '>':
+			if lx.peek(1) == '=' {
+				lx.emit2(tOp, ">=")
+			} else {
+				lx.emit(tOp, ">")
+			}
+		case c == '!':
+			if lx.peek(1) == '=' {
+				lx.emit2(tOp, "<>")
+			} else {
+				return fmt.Errorf("unexpected '!' at %d", lx.pos)
+			}
+		case c == '=':
+			lx.emit(tOp, "=")
+		case c == '\'' || c == '"':
+			end := lx.pos + 1
+			for end < len(lx.src) && lx.src[end] != c {
+				if lx.src[end] == '\\' && end+1 < len(lx.src) {
+					end++ // skip the escaped character
+				}
+				end++
+			}
+			if end >= len(lx.src) {
+				return fmt.Errorf("unterminated string at %d", lx.pos)
+			}
+			text, err := unquote(lx.src[lx.pos:end+1], c)
+			if err != nil {
+				return fmt.Errorf("bad string literal at %d: %v", lx.pos, err)
+			}
+			lx.toks = append(lx.toks, token{tStr, text})
+			lx.pos = end + 1
+		case c == '+':
+			lx.emit(tPlusMinus, "+")
+		case c == '-' || (c >= '0' && c <= '9'):
+			// A '-' after a value-like token is the offset operator
+			// ("yearp - 1"); otherwise it starts a negative literal.
+			if c == '-' && lx.afterValue() {
+				lx.emit(tPlusMinus, "-")
+				continue
+			}
+			end := lx.pos + 1
+			for end < len(lx.src) && lx.src[end] >= '0' && lx.src[end] <= '9' {
+				end++
+			}
+			if lx.src[lx.pos:end] == "-" {
+				return fmt.Errorf("unexpected '-' at %d", lx.pos)
+			}
+			lx.toks = append(lx.toks, token{tInt, lx.src[lx.pos:end]})
+			lx.pos = end
+		case isIdentStart(rune(c)):
+			end := lx.pos + 1
+			for end < len(lx.src) && isIdentPart(rune(lx.src[end])) {
+				end++
+			}
+			lx.toks = append(lx.toks, token{tIdent, lx.src[lx.pos:end]})
+			lx.pos = end
+		default:
+			return fmt.Errorf("unexpected character %q at %d", c, lx.pos)
+		}
+	}
+	lx.toks = append(lx.toks, token{tEOF, ""})
+	return nil
+}
+
+// afterValue reports whether the previous token can end a term (so a
+// following '-' is the offset operator rather than a sign).
+func (lx *lexer) afterValue() bool {
+	if len(lx.toks) == 0 {
+		return false
+	}
+	switch lx.toks[len(lx.toks)-1].kind {
+	case tIdent, tInt, tStr, tRParen:
+		return true
+	}
+	return false
+}
+
+func (lx *lexer) peek(off int) byte {
+	if lx.pos+off < len(lx.src) {
+		return lx.src[lx.pos+off]
+	}
+	return 0
+}
+
+func (lx *lexer) emit(k tokKind, s string) { lx.toks = append(lx.toks, token{k, s}); lx.pos++ }
+func (lx *lexer) emit2(k tokKind, s string) {
+	lx.toks = append(lx.toks, token{k, s})
+	lx.pos += 2
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, fmt.Errorf("expected %s, got %q", what, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) rule() (name string, head []string, body CQ, err error) {
+	nameTok, err := p.expect(tIdent, "query name")
+	if err != nil {
+		return
+	}
+	name = nameTok.text
+	if _, err = p.expect(tLParen, "("); err != nil {
+		return
+	}
+	for p.cur().kind != tRParen {
+		v, e := p.expect(tIdent, "head variable")
+		if e != nil {
+			err = e
+			return
+		}
+		head = append(head, v.text)
+		if p.cur().kind == tComma {
+			p.next()
+		}
+	}
+	p.next() // )
+	if _, err = p.expect(tArrow, ":-"); err != nil {
+		return
+	}
+	for {
+		if err = p.bodyItem(&body); err != nil {
+			return
+		}
+		if p.cur().kind == tComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.cur().kind != tEOF {
+		err = fmt.Errorf("trailing input %q", p.cur().text)
+	}
+	return
+}
+
+func (p *parser) bodyItem(body *CQ) error {
+	negated := false
+	if p.cur().kind == tIdent && p.cur().text == "not" && p.toks[p.pos+1].kind == tIdent {
+		negated = true
+		p.next()
+	}
+	// Lookahead: ident followed by "(" is an atom; otherwise a predicate.
+	if p.cur().kind == tIdent && p.toks[p.pos+1].kind == tLParen {
+		atom, err := p.atom(negated)
+		if err != nil {
+			return err
+		}
+		body.Atoms = append(body.Atoms, atom)
+		return nil
+	}
+	if negated {
+		return fmt.Errorf("'not' must be followed by an atom")
+	}
+	pred, err := p.pred()
+	if err != nil {
+		return err
+	}
+	body.Preds = append(body.Preds, pred)
+	return nil
+}
+
+func (p *parser) atom(negated bool) (Atom, error) {
+	rel := p.next().text
+	p.next() // (
+	a := Atom{Rel: rel, Negated: negated}
+	for p.cur().kind != tRParen {
+		t, err := p.term()
+		if err != nil {
+			return a, err
+		}
+		a.Args = append(a.Args, t)
+		if p.cur().kind == tComma {
+			p.next()
+		} else if p.cur().kind != tRParen {
+			return a, fmt.Errorf("expected , or ) in atom %s", rel)
+		}
+	}
+	p.next() // )
+	if len(a.Args) == 0 {
+		return a, fmt.Errorf("atom %s has no arguments", rel)
+	}
+	return a, nil
+}
+
+func (p *parser) term() (Term, error) {
+	switch t := p.cur(); t.kind {
+	case tIdent:
+		p.next()
+		return V(t.text), nil
+	case tInt:
+		p.next()
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Term{}, err
+		}
+		return CInt(i), nil
+	case tStr:
+		p.next()
+		return CStr(t.text), nil
+	default:
+		return Term{}, fmt.Errorf("expected term, got %q", t.text)
+	}
+}
+
+func (p *parser) pred() (Pred, error) {
+	l, err := p.term()
+	if err != nil {
+		return Pred{}, err
+	}
+	var op PredOp
+	switch t := p.cur(); {
+	case t.kind == tOp:
+		p.next()
+		switch t.text {
+		case "<":
+			op = OpLT
+		case "<=":
+			op = OpLE
+		case "=":
+			op = OpEQ
+		case "<>":
+			op = OpNE
+		case ">=":
+			op = OpGE
+		case ">":
+			op = OpGT
+		}
+	case t.kind == tIdent && t.text == "like":
+		p.next()
+		op = OpLike
+	default:
+		return Pred{}, fmt.Errorf("expected comparison operator, got %q", t.text)
+	}
+	r, err := p.term()
+	if err != nil {
+		return Pred{}, err
+	}
+	if op == OpLike {
+		if !r.IsConst || !r.Const.IsStr {
+			return Pred{}, fmt.Errorf("like pattern must be a string constant")
+		}
+	}
+	var offset int64
+	if p.cur().kind == tPlusMinus {
+		signTok := p.next()
+		numTok, err := p.expect(tInt, "offset integer")
+		if err != nil {
+			return Pred{}, err
+		}
+		n, err := strconv.ParseInt(numTok.text, 10, 64)
+		if err != nil {
+			return Pred{}, err
+		}
+		if signTok.text == "-" {
+			n = -n
+		}
+		if op == OpLike {
+			return Pred{}, fmt.Errorf("like does not take an offset")
+		}
+		offset = n
+	}
+	return Pred{Op: op, L: l, R: r, Offset: offset}, nil
+}
+
+// MustParse is Parse but panics on error; for statically known queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// unquote decodes a quoted string literal. Double-quoted literals follow Go
+// syntax (strconv.Unquote, so rendered constants round-trip); single-quoted
+// literals support the escapes \\ \' \" \n \t.
+func unquote(lit string, quote byte) (string, error) {
+	if quote == '"' {
+		return strconv.Unquote(lit)
+	}
+	body := lit[1 : len(lit)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch body[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '\'':
+			b.WriteByte('\'')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,220 @@
+package ucq
+
+import (
+	"testing"
+
+	"mvdb/internal/engine"
+)
+
+func TestParseSimple(t *testing.T) {
+	q, err := Parse("Q(x) :- R(x,y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q" || len(q.Head) != 1 || q.Head[0] != "x" {
+		t.Fatalf("head = %v", q.Head)
+	}
+	if len(q.Disjuncts) != 1 || len(q.Disjuncts[0].Atoms) != 2 {
+		t.Fatalf("disjuncts = %+v", q.Disjuncts)
+	}
+	a := q.Disjuncts[0].Atoms[0]
+	if a.Rel != "R" || a.Args[0].Var != "x" || a.Args[1].Var != "y" {
+		t.Errorf("atom = %+v", a)
+	}
+}
+
+func TestParseBooleanQuery(t *testing.T) {
+	q, err := Parse("Q() :- R(x), S(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 0 {
+		t.Fatalf("head = %v", q.Head)
+	}
+}
+
+func TestParseConstantsAndPreds(t *testing.T) {
+	q, err := Parse(`Q(a) :- Pub(p, a, year), year > 2004, a like '%Madden%', Pub(p, a, 2010)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := q.Disjuncts[0]
+	if len(d.Atoms) != 2 || len(d.Preds) != 2 {
+		t.Fatalf("parsed %+v", d)
+	}
+	if d.Preds[0].Op != OpGT || d.Preds[0].R.Const.Int != 2004 {
+		t.Errorf("pred0 = %+v", d.Preds[0])
+	}
+	if d.Preds[1].Op != OpLike || d.Preds[1].R.Const.Str != "%Madden%" {
+		t.Errorf("pred1 = %+v", d.Preds[1])
+	}
+	if !d.Atoms[1].Args[2].IsConst || d.Atoms[1].Args[2].Const.Int != 2010 {
+		t.Errorf("const arg = %+v", d.Atoms[1].Args[2])
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	src := `
+# students or postdocs
+Q(x) :- Student(x,y)
+Q(x) :- Postdoc(x)
+`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d", len(q.Disjuncts))
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	q, err := Parse("Q(x) :- R(x,y), not D(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Disjuncts[0].Atoms[1].Negated {
+		t.Error("negation lost")
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	q, err := Parse("Q() :- R(x,y), x < y, x <= y, x = y, x <> y, x != y, x >= y, x > y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []PredOp{OpLT, OpLE, OpEQ, OpNE, OpNE, OpGE, OpGT}
+	for i, p := range q.Disjuncts[0].Preds {
+		if p.Op != ops[i] {
+			t.Errorf("pred %d op = %v want %v", i, p.Op, ops[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(x)",                           // no body
+		"Q(x) :- ",                       // empty body
+		"Q(x) :- R(x), x like y",         // like with variable pattern
+		"Q(x) :- R(x), not x < 3",        // not before predicate
+		"Q(x) :- S(y)",                   // head var unbound
+		"Q(x) :- R(x), y > 1",            // pred var unbound
+		"Q(x) :- R(x), not D(z)",         // negated var unbound
+		"Q(x) :- R(x,",                   // unterminated
+		"Q(x) :- R(x), 'open",            // unterminated string
+		"Q(x) :- R()",                    // empty atom
+		"Q(x) :- R(x) extra(",            // trailing garbage
+		"Q(x) :- R(x)\nQ(x,y) :- S(x,y)", // inconsistent heads
+		"Q(x) : R(x)",                    // bad arrow
+		"Q(x) :- R(x), x ! y",            // bad operator
+		"Q(x) :- R(-)",                   // lone minus
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseProgramMultipleQueries(t *testing.T) {
+	qs, err := ParseProgram(`
+A(x) :- R(x)
+B(y) :- S(y)
+A(x) :- T(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0].Name != "A" || qs[1].Name != "B" {
+		t.Fatalf("queries = %+v", qs)
+	}
+	if len(qs[0].Disjuncts) != 2 {
+		t.Errorf("A disjuncts = %d", len(qs[0].Disjuncts))
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	src := "Q(x) :- R(x,y), S(y,'lit'), y > 3"
+	q := MustParse(src)
+	again, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if again.String() != q.String() {
+		t.Errorf("round trip: %q vs %q", q.String(), again.String())
+	}
+}
+
+func TestNegativeIntConstant(t *testing.T) {
+	q, err := Parse("Q() :- R(x), x > -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := q.Disjuncts[0].Preds[0]; p.R.Const.Int != -5 {
+		t.Errorf("const = %+v", p.R)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("garbage(")
+}
+
+func TestParseOffsetPredicates(t *testing.T) {
+	q, err := Parse("Q(y) :- FirstPub(a,yp), Cal(y), y >= yp - 1, y <= yp + 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := q.Disjuncts[0].Preds
+	if preds[0].Offset != -1 || preds[1].Offset != 5 {
+		t.Errorf("offsets = %d, %d", preds[0].Offset, preds[1].Offset)
+	}
+	// Round trip.
+	again, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if again.String() != q.String() {
+		t.Errorf("round trip: %q vs %q", q.String(), again.String())
+	}
+	// Negative literal still parses where a sign is expected.
+	q, err = Parse("Q() :- R(x), x > -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Disjuncts[0].Preds[0].R.Const.Int != -5 || q.Disjuncts[0].Preds[0].Offset != 0 {
+		t.Errorf("pred = %+v", q.Disjuncts[0].Preds[0])
+	}
+	// Offset on like is rejected.
+	if _, err = Parse("Q() :- R(x), x like 'a' + 1"); err == nil {
+		t.Error("like offset accepted")
+	}
+	// Dangling sign.
+	if _, err = Parse("Q() :- R(x), x > x +"); err == nil {
+		t.Error("dangling + accepted")
+	}
+}
+
+func TestEvalBoundOffsets(t *testing.T) {
+	p := Pred{Op: OpLE, L: V("y"), R: V("yp"), Offset: 5}
+	if !p.EvalBound(engine.Int(2004), engine.Int(2000)) {
+		t.Error("2004 <= 2000+5 should hold")
+	}
+	if p.EvalBound(engine.Int(2006), engine.Int(2000)) {
+		t.Error("2006 <= 2000+5 should fail")
+	}
+	// Strings with offsets are false.
+	if p.EvalBound(engine.Str("a"), engine.Str("b")) {
+		t.Error("string offset comparison accepted")
+	}
+	// Zero offset falls through to the plain comparison.
+	p = Pred{Op: OpLT, L: V("a"), R: V("b")}
+	if !p.EvalBound(engine.Str("a"), engine.Str("b")) {
+		t.Error("plain string compare broken")
+	}
+}

@@ -1,0 +1,63 @@
+package wmc
+
+import (
+	"fmt"
+	"math"
+
+	"mvdb/internal/lineage"
+)
+
+// DissociationBounds computes oblivious upper and lower bounds on P(d)
+// (Gatterbauer, Jha & Suciu — reference [11] of the paper: "Dissociation
+// and propagation for efficient query evaluation over probabilistic
+// databases"). Every variable occurring in k > 1 terms is dissociated into
+// k fresh copies, making the DNF read-once so its probability has a closed
+// form:
+//
+//   - copies keep the original probability p        → an upper bound;
+//   - copies use p' = 1 − (1−p)^(1/k)               → a lower bound.
+//
+// The bounds are exact (lo == hi == P) when the DNF is already read-once.
+// Like all sampling/bounding machinery, this requires genuine
+// probabilities: entries outside [0, 1] are rejected, which is why the
+// MarkoView translation itself sticks to exact methods (Section 3.3) —
+// bounds apply to plain INDBs, e.g. the query side before translation.
+func DissociationBounds(d lineage.DNF, probs []float64) (lo, hi float64, err error) {
+	nd := normalize(d)
+	if len(nd) == 0 {
+		return 0, 0, nil
+	}
+	if len(nd[0]) == 0 {
+		return 1, 1, nil
+	}
+	occurrences := map[int]int{}
+	for _, t := range nd {
+		for _, v := range t {
+			occurrences[v]++
+		}
+	}
+	for v := range occurrences {
+		if probs[v] < 0 || probs[v] > 1 {
+			return 0, 0, fmt.Errorf("wmc: variable %d has probability %v outside [0,1]; dissociation bounds need a true probability space", v, probs[v])
+		}
+	}
+	// Read-once after full dissociation: P = 1 - Π_terms (1 - Π p(v)).
+	readOnce := func(adjust bool) float64 {
+		prod := 1.0
+		for _, t := range nd {
+			termP := 1.0
+			for _, v := range t {
+				p := probs[v]
+				if adjust {
+					if k := occurrences[v]; k > 1 {
+						p = 1 - math.Pow(1-p, 1/float64(k))
+					}
+				}
+				termP *= p
+			}
+			prod *= 1 - termP
+		}
+		return 1 - prod
+	}
+	return readOnce(true), readOnce(false), nil
+}

@@ -1,0 +1,300 @@
+// Package wmc implements weighted model counting over monotone DNF lineage:
+// an exact Davis-Putnam-style procedure (Shannon expansion on the most
+// frequent variable, independent-component decomposition, and caching — the
+// method family the paper cites for MystiQ-style probabilistic databases
+// [3, 17]) and the Karp-Luby FPRAS for DNF probability.
+//
+// The exact procedure is valid verbatim for negative probabilities
+// (Section 3.3 of the paper): Shannon expansion and the independence law
+// are polynomial identities of the product measure. Karp-Luby, being a
+// sampling method, is NOT — it requires genuine probabilities in [0, 1],
+// and the package enforces that, matching the paper's observation that
+// approximation methods "no longer work out-of-the-box".
+package wmc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mvdb/internal/lineage"
+)
+
+// Prob computes the exact probability of the DNF under the per-variable
+// probability vector (indexed by variable id; entries may be negative).
+func Prob(d lineage.DNF, probs []float64) float64 {
+	s := &solver{probs: probs, cache: map[string]float64{}}
+	return s.prob(normalize(d))
+}
+
+// Stats reports the work done by the last Prob call when using a Solver.
+type Stats struct {
+	ShannonSteps    int
+	ComponentSplits int
+	CacheHits       int
+}
+
+// Solver is a reusable exact solver that exposes statistics.
+type Solver struct {
+	inner *solver
+}
+
+// NewSolver creates a solver for a fixed probability vector.
+func NewSolver(probs []float64) *Solver {
+	return &Solver{inner: &solver{probs: probs, cache: map[string]float64{}}}
+}
+
+// Prob computes P(d), sharing the cache across calls.
+func (s *Solver) Prob(d lineage.DNF) float64 { return s.inner.prob(normalize(d)) }
+
+// Stats returns cumulative statistics.
+func (s *Solver) Stats() Stats { return s.inner.stats }
+
+type solver struct {
+	probs []float64
+	cache map[string]float64
+	stats Stats
+}
+
+// dnf is the internal normalized representation: sorted terms of sorted
+// variable ids, no duplicates, no absorbed terms.
+type dnf [][]int
+
+func normalize(d lineage.DNF) dnf {
+	return dnf(d.Normalize())
+}
+
+func (d dnf) key() string {
+	var b strings.Builder
+	for _, t := range d {
+		for _, v := range t {
+			b.WriteString(strconv.Itoa(v))
+			b.WriteByte(',')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func (s *solver) prob(d dnf) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	if len(d[0]) == 0 {
+		return 1 // normalized form puts the empty (true) term first
+	}
+	if len(d) == 1 {
+		// Single term: product of its variables' probabilities.
+		p := 1.0
+		for _, v := range d[0] {
+			p *= s.probs[v]
+		}
+		return p
+	}
+	key := d.key()
+	if p, ok := s.cache[key]; ok {
+		s.stats.CacheHits++
+		return p
+	}
+
+	var p float64
+	if comps := components(d); len(comps) > 1 {
+		// Independent union: P(∨ᵢ cᵢ) = 1 - Πᵢ (1 - P(cᵢ)).
+		s.stats.ComponentSplits++
+		prod := 1.0
+		for _, c := range comps {
+			prod *= 1 - s.prob(c)
+		}
+		p = 1 - prod
+	} else {
+		// Shannon expansion on the most frequent variable.
+		s.stats.ShannonSteps++
+		x := mostFrequent(d)
+		px := s.probs[x]
+		p = px*s.prob(restrict(d, x, true)) + (1-px)*s.prob(restrict(d, x, false))
+	}
+	s.cache[key] = p
+	return p
+}
+
+// components partitions the terms into groups sharing no variables.
+func components(d dnf) []dnf {
+	parent := make([]int, len(d))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	varTerm := map[int]int{}
+	for i, t := range d {
+		for _, v := range t {
+			if j, ok := varTerm[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				varTerm[v] = i
+			}
+		}
+	}
+	groups := map[int]dnf{}
+	var order []int
+	for i, t := range d {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], t)
+	}
+	out := make([]dnf, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// mostFrequent returns the variable occurring in the most terms.
+func mostFrequent(d dnf) int {
+	count := map[int]int{}
+	for _, t := range d {
+		for _, v := range t {
+			count[v]++
+		}
+	}
+	best, bestC := 0, -1
+	for v, c := range count {
+		if c > bestC || (c == bestC && v < best) {
+			best, bestC = v, c
+		}
+	}
+	return best
+}
+
+// restrict conditions the DNF on x = val and renormalizes (removing
+// duplicate and absorbed terms, which keeps the cache keys canonical).
+func restrict(d dnf, x int, val bool) dnf {
+	out := make(lineage.DNF, 0, len(d))
+	for _, t := range d {
+		has := false
+		for _, v := range t {
+			if v == x {
+				has = true
+				break
+			}
+		}
+		switch {
+		case !has:
+			out = append(out, t)
+		case val:
+			nt := make([]int, 0, len(t)-1)
+			for _, v := range t {
+				if v != x {
+					nt = append(nt, v)
+				}
+			}
+			out = append(out, nt)
+		default:
+			// dropped: term is false under x = 0
+		}
+	}
+	return normalize(out)
+}
+
+// KarpLubyOptions configures the FPRAS.
+type KarpLubyOptions struct {
+	Samples int
+	Seed    int64
+}
+
+// KarpLuby estimates P(d) with the Karp-Luby-Madras unbiased estimator for
+// DNF counting. It requires genuine probabilities: any entry outside [0, 1]
+// among the DNF's variables is rejected, because importance sampling over a
+// signed "measure" is undefined — this is exactly why the MarkoView
+// translation is restricted to exact methods (Section 3.3).
+func KarpLuby(d lineage.DNF, probs []float64, opts KarpLubyOptions) (float64, error) {
+	nd := normalize(d)
+	if len(nd) == 0 {
+		return 0, nil
+	}
+	if len(nd[0]) == 0 {
+		return 1, nil
+	}
+	for _, v := range lineage.DNF(nd).Vars() {
+		if probs[v] < 0 || probs[v] > 1 {
+			return 0, fmt.Errorf("wmc: variable %d has probability %v outside [0,1]; Karp-Luby requires a true probability space", v, probs[v])
+		}
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = 100000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// P(term_i) and the union-bound normalizer T = Σ P(term_i).
+	termP := make([]float64, len(nd))
+	total := 0.0
+	for i, t := range nd {
+		p := 1.0
+		for _, v := range t {
+			p *= probs[v]
+		}
+		termP[i] = p
+		total += p
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	// Cumulative distribution for picking a term ∝ its probability.
+	cum := make([]float64, len(nd))
+	acc := 0.0
+	for i, p := range termP {
+		acc += p
+		cum[i] = acc
+	}
+
+	hits := 0
+	assign := map[int]bool{}
+	for s := 0; s < opts.Samples; s++ {
+		// Pick term i ∝ P(term_i), then a world conditioned on term_i true.
+		r := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, r)
+		if i == len(cum) {
+			i = len(cum) - 1
+		}
+		for k := range assign {
+			delete(assign, k)
+		}
+		for _, v := range nd[i] {
+			assign[v] = true
+		}
+		// The estimator counts the sample iff term_i is the FIRST satisfied
+		// term; other variables are sampled lazily on demand.
+		first := true
+		for j := 0; j < i && first; j++ {
+			sat := true
+			for _, v := range nd[j] {
+				val, ok := assign[v]
+				if !ok {
+					val = rng.Float64() < probs[v]
+					assign[v] = val
+				}
+				if !val {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				first = false
+			}
+		}
+		if first {
+			hits++
+		}
+	}
+	return total * float64(hits) / float64(opts.Samples), nil
+}
