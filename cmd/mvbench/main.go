@@ -25,13 +25,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,madden,ablate-entry,methods,marginals,exactness or all")
-		domains = flag.String("domains", "", "comma-separated aid-domain sweep (default 1000..10000)")
-		full    = flag.Int("full", 0, "full-dataset author count for fig10/fig11/madden")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		samples = flag.Int("mcsat-samples", 0, "MC-SAT samples for fig5/fig6")
-		quick   = flag.Bool("quick", false, "small sweeps for a fast smoke run")
-		format  = flag.String("format", "text", "output format: text or csv")
+		exp         = flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,parallel,madden,ablate-entry,methods,marginals,exactness or all")
+		domains     = flag.String("domains", "", "comma-separated aid-domain sweep (default 1000..10000)")
+		full        = flag.Int("full", 0, "full-dataset author count for fig10/fig11/madden")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		samples     = flag.Int("mcsat-samples", 0, "MC-SAT samples for fig5/fig6")
+		quick       = flag.Bool("quick", false, "small sweeps for a fast smoke run")
+		format      = flag.String("format", "text", "output format: text or csv")
+		parallelism = flag.Int("parallelism", 0, "workers for parallel compile/query experiments (0 = GOMAXPROCS, 1 = sequential)")
+		parJSON     = flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON report (empty to skip)")
 	)
 	flag.Parse()
 
@@ -40,6 +42,7 @@ func main() {
 		opts = bench.Small()
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *parallelism
 	if *domains != "" {
 		opts.Domains = nil
 		for _, s := range strings.Split(*domains, ",") {
@@ -79,10 +82,26 @@ func main() {
 			tab.Fprint(os.Stdout)
 			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
 		}
+		if id == "parallel" && *parJSON != "" {
+			f, err := os.Create(*parJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteParallelJSON(f, tab, *parallelism); err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mvbench: wrote %s\n", *parJSON)
+		}
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "madden", "ablate-entry", "methods", "marginals", "exactness"} {
+		for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "madden", "ablate-entry", "methods", "marginals", "exactness"} {
 			run(id)
 		}
 		return

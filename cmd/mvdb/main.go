@@ -34,6 +34,7 @@ type session struct {
 	tr   *core.Translation
 	ix   *mvindex.Index
 	meth string
+	par  int
 }
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		interactive = flag.Bool("i", false, "interactive mode (read queries from stdin)")
 		saveIndex   = flag.String("save-index", "", "write the compiled MV-index to this file and continue")
 		loadIndex   = flag.String("load-index", "", "load a previously saved MV-index instead of generating data")
+		parallelism = flag.Int("parallelism", 0, "workers for OBDD compilation and per-answer query loops (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 			fatal(err)
 		}
 		tr = ix.Translation()
+		tr.Parallelism = *parallelism
 	} else {
 		fmt.Fprintf(os.Stderr, "generating synthetic DBLP (%d authors, views %s)...\n", *authors, *views)
 		data, err = dblp.Generate(dblp.Config{NumAuthors: *authors, Seed: *seed})
@@ -89,6 +92,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		tr.Parallelism = *parallelism
 		ix, err = mvindex.Build(tr)
 		if err != nil {
 			fatal(err)
@@ -103,7 +107,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ready in %v: %d tuple variables, MV-index %d nodes in %d blocks\n",
 		time.Since(t0).Round(time.Millisecond), tr.DB.NumVars(), ix.Size(), ix.Blocks())
 
-	s := &session{data: data, tr: tr, ix: ix, meth: *method}
+	s := &session{data: data, tr: tr, ix: ix, meth: *method, par: *parallelism}
 	if args := flag.Args(); len(args) > 0 {
 		for _, src := range args {
 			if err := s.runQuery(src); err != nil {
@@ -182,9 +186,9 @@ func (s *session) runQuery(src string) error {
 	var rows []core.Answer
 	switch s.meth {
 	case "index":
-		rows, err = s.ix.Query(q, mvindex.IntersectOptions{})
+		rows, err = s.ix.Query(q, mvindex.IntersectOptions{Parallelism: s.par})
 	case "index-cc":
-		rows, err = s.ix.Query(q, mvindex.IntersectOptions{CacheConscious: true})
+		rows, err = s.ix.Query(q, mvindex.IntersectOptions{CacheConscious: true, Parallelism: s.par})
 	case "obdd":
 		rows, err = s.tr.Query(q, core.MethodOBDD)
 	case "lifted":

@@ -28,6 +28,7 @@ func main() {
 		authors   = flag.Int("authors", 2000, "aid domain of the synthetic DBLP dataset")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		loadIndex = flag.String("load-index", "", "serve a previously saved MV-index instead of generating data")
+		par       = flag.Int("parallelism", 0, "workers for OBDD compilation (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 				var tr *core.Translation
 				tr, err = m.Translate(core.TranslateOptions{})
 				if err == nil {
+					tr.Parallelism = *par
 					ix, err = mvindex.Build(tr)
 				}
 			}

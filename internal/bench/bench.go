@@ -39,6 +39,10 @@ type Options struct {
 	MCSatBurn, MCSatSamples int
 	// Queries is the number of per-query measurements in Figures 10-11.
 	Queries int
+	// Parallelism is the worker count for the parallel compile/query
+	// experiment and the fig8 mv-par column: 0 uses GOMAXPROCS, 1 is the
+	// sequential reference.
+	Parallelism int
 }
 
 // Defaults returns the sweep the paper ran: domains 1000..10000 and a large

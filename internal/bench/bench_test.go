@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -105,7 +106,7 @@ func TestFig8SameOBDD(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range tab.Rows {
-		if r[3] != "true" {
+		if r[len(r)-1] != "true" {
 			t.Errorf("synthesis and concatenation built different OBDDs: %v", r)
 		}
 	}
@@ -171,8 +172,46 @@ func TestMadden(t *testing.T) {
 	}
 }
 
+// TestParallelExperiment runs the parallel compile/query experiment on a
+// small sweep with 4 workers and checks the "same" column (parallel output
+// identical to sequential) plus the JSON report round-trip.
+func TestParallelExperiment(t *testing.T) {
+	opts := small()
+	opts.Domains = []int{200, 400}
+	opts.Parallelism = 4
+	tab, err := ParallelCompileQuery(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[len(r)-1] != "true" {
+			t.Errorf("parallel output diverged from sequential: %v", r)
+		}
+	}
+	var buf strings.Builder
+	if err := WriteParallelJSON(&buf, tab, opts.Parallelism); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Workers int `json:"workers"`
+		Rows    []struct {
+			Domain        int     `json:"domain"`
+			SeqCompileSec float64 `json:"seq_compile_sec"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v", err)
+	}
+	if rep.Workers != 4 || len(rep.Rows) != 2 || rep.Rows[0].Domain != 200 || rep.Rows[0].SeqCompileSec <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
 func TestByID(t *testing.T) {
-	for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "madden"} {
+	for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "madden"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("ByID(%q) missing", id)
 		}

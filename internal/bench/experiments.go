@@ -201,9 +201,10 @@ func Fig8Construction(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	t := &Table{
 		ID:      "fig8",
-		Title:   "OBDD construction: synthesis (CUDD-style) vs concatenation (MV)",
-		Columns: []string{"aid1 domain", "cudd-construction(s)", "mv-construction(s)", "same obdd"},
+		Title:   "OBDD construction: synthesis (CUDD-style) vs concatenation (MV), sequential and parallel",
+		Columns: []string{"aid1 domain", "cudd-construction(s)", "mv-construction(s)", "mv-par-construction(s)", "workers", "same obdd"},
 	}
+	workers := benchWorkers(opts.Parallelism)
 	for _, n := range opts.Domains {
 		_, _, tr, err := pipeline(n, opts.Seed, "2")
 		if err != nil {
@@ -216,16 +217,23 @@ func Fig8Construction(opts Options) (*Table, error) {
 		}
 		tSyn := time.Since(t0)
 		t0 = time.Now()
-		mCon, fCon, _, err := tr.CompileW(obdd.CompileOptions{})
+		mCon, fCon, _, err := tr.CompileW(obdd.CompileOptions{Parallelism: 1})
 		if err != nil {
 			return nil, err
 		}
 		tCon := time.Since(t0)
-		same := mSyn.Size(fSyn) == mCon.Size(fCon)
-		t.Rows = append(t.Rows, []string{fmt.Sprint(n), seconds(tSyn), seconds(tCon), fmt.Sprint(same)})
+		t0 = time.Now()
+		mPar, fPar, _, err := tr.CompileW(obdd.CompileOptions{Parallelism: workers})
+		if err != nil {
+			return nil, err
+		}
+		tPar := time.Since(t0)
+		same := mSyn.Size(fSyn) == mCon.Size(fCon) && mCon.Size(fCon) == mPar.Size(fPar)
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), seconds(tSyn), seconds(tCon), seconds(tPar), fmt.Sprint(workers), fmt.Sprint(same)})
 		t.addSeries("domain", float64(n))
 		t.addSeries("cudd", tSyn.Seconds())
 		t.addSeries("mv", tCon.Seconds())
+		t.addSeries("mv-par", tPar.Seconds())
 	}
 	return t, nil
 }
@@ -457,6 +465,7 @@ func ByID(id string) (func(Options) (*Table, error), bool) {
 		"fig9":         Fig9Intersect,
 		"fig10":        Fig10StudentQueries,
 		"fig11":        Fig11AffiliationQueries,
+		"parallel":     ParallelCompileQuery,
 		"madden":       Madden,
 		"ablate-entry": AblationEntryShortcut,
 		"methods":      MethodsCompare,

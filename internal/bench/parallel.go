@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mvdb/internal/dblp"
+	"mvdb/internal/mvindex"
+	"mvdb/internal/obdd"
+)
+
+// benchWorkers resolves a Parallelism option to a worker count, mirroring
+// obdd.CompileOptions semantics.
+func benchWorkers(p int) int {
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// ParallelCompileQuery measures the tentpole speedups: W compiled with 1
+// worker vs N workers (same V2 sweep as fig8, where the separator yields one
+// block per aid1 value), and a batch of student queries answered with a
+// sequential vs parallel per-answer loop. Both parallel paths are verified
+// to give identical output (same OBDD size; bitwise-equal probabilities) —
+// the speedup column is meaningless if the answers drift. On a single-core
+// host the ratios hover around 1; the ≥2x compile speedup appears at large
+// domains on multi-core hardware.
+func ParallelCompileQuery(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	workers := benchWorkers(opts.Parallelism)
+	t := &Table{
+		ID:    "parallel",
+		Title: fmt.Sprintf("parallel compile + concurrent query (workers=%d, GOMAXPROCS=%d)", workers, runtime.GOMAXPROCS(0)),
+		Columns: []string{
+			"aid1 domain", "workers",
+			"seq-compile(s)", "par-compile(s)", "compile-speedup",
+			"seq-queries(s)", "par-queries(s)", "query-speedup",
+			"same",
+		},
+	}
+	for _, n := range opts.Domains {
+		d, _, tr, err := pipeline(n, opts.Seed, "2")
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		mSeq, fSeq, _, err := tr.CompileW(obdd.CompileOptions{Parallelism: 1})
+		if err != nil {
+			return nil, err
+		}
+		tSeq := time.Since(t0)
+		t0 = time.Now()
+		mPar, fPar, _, err := tr.CompileW(obdd.CompileOptions{Parallelism: workers})
+		if err != nil {
+			return nil, err
+		}
+		tPar := time.Since(t0)
+		same := mSeq.Size(fSeq) == mPar.Size(fPar)
+
+		// Batch query timing on one shared index: the same student queries
+		// answered with the per-answer loop at 1 worker and at N workers.
+		ix, err := buildIndex(tr)
+		if err != nil {
+			return nil, err
+		}
+		students := d.Students
+		if len(students) > opts.Queries {
+			students = students[:opts.Queries]
+		}
+		batch := func(par int) (time.Duration, []float64, error) {
+			var probs []float64
+			t0 := time.Now()
+			for _, s := range students {
+				rows, err := ix.Query(dblp.QueryAdvisorOfStudent(s), mvindex.IntersectOptions{CacheConscious: true, Parallelism: par})
+				if err != nil {
+					return 0, nil, err
+				}
+				for _, r := range rows {
+					probs = append(probs, r.Prob)
+				}
+			}
+			return time.Since(t0), probs, nil
+		}
+		tQSeq, pSeq, err := batch(1)
+		if err != nil {
+			return nil, err
+		}
+		tQPar, pPar, err := batch(workers)
+		if err != nil {
+			return nil, err
+		}
+		if len(pSeq) != len(pPar) {
+			same = false
+		} else {
+			for i := range pSeq {
+				if pSeq[i] != pPar[i] {
+					same = false
+					break
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(workers),
+			seconds(tSeq), seconds(tPar), ratio(tSeq, tPar),
+			seconds(tQSeq), seconds(tQPar), ratio(tQSeq, tQPar),
+			fmt.Sprint(same),
+		})
+		t.addSeries("domain", float64(n))
+		t.addSeries("seq-compile", tSeq.Seconds())
+		t.addSeries("par-compile", tPar.Seconds())
+		t.addSeries("seq-queries", tQSeq.Seconds())
+		t.addSeries("par-queries", tQPar.Seconds())
+	}
+	return t, nil
+}
+
+func ratio(seq, par time.Duration) string {
+	if par <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", seq.Seconds()/par.Seconds())
+}
+
+// parallelReport is the JSON shape of BENCH_parallel.json.
+type parallelReport struct {
+	Workers    int                 `json:"workers"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Rows       []parallelReportRow `json:"rows"`
+}
+
+type parallelReportRow struct {
+	Domain         int     `json:"domain"`
+	SeqCompileSec  float64 `json:"seq_compile_sec"`
+	ParCompileSec  float64 `json:"par_compile_sec"`
+	CompileSpeedup float64 `json:"compile_speedup"`
+	SeqQueriesSec  float64 `json:"seq_queries_sec"`
+	ParQueriesSec  float64 `json:"par_queries_sec"`
+	QuerySpeedup   float64 `json:"query_speedup"`
+}
+
+// WriteParallelJSON renders the parallel experiment's table as the
+// BENCH_parallel.json report consumed by CI and the README's numbers.
+func WriteParallelJSON(w io.Writer, t *Table, parallelism int) error {
+	if t.ID != "parallel" {
+		return fmt.Errorf("bench: WriteParallelJSON wants the parallel table, got %q", t.ID)
+	}
+	rep := parallelReport{Workers: benchWorkers(parallelism), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for i := range t.Series["domain"] {
+		sc, pc := t.Series["seq-compile"][i], t.Series["par-compile"][i]
+		sq, pq := t.Series["seq-queries"][i], t.Series["par-queries"][i]
+		row := parallelReportRow{
+			Domain:        int(t.Series["domain"][i]),
+			SeqCompileSec: sc,
+			ParCompileSec: pc,
+			SeqQueriesSec: sq,
+			ParQueriesSec: pq,
+		}
+		if pc > 0 {
+			row.CompileSpeedup = sc / pc
+		}
+		if pq > 0 {
+			row.QuerySpeedup = sq / pq
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

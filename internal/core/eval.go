@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mvdb/internal/engine"
 	"mvdb/internal/lift"
@@ -60,6 +63,7 @@ type Answer struct {
 }
 
 type obddState struct {
+	mu    sync.Mutex // serializes query-OBDD synthesis on the shared manager
 	m     *obdd.Manager
 	fW    obdd.NodeID
 	pW    float64
@@ -73,7 +77,7 @@ func (t *Translation) ensureOBDD() (*obddState, error) {
 	if t.obdd != nil {
 		return t.obdd, nil
 	}
-	m, fW, stats, err := t.CompileW(obdd.CompileOptions{})
+	m, fW, stats, err := t.CompileW(obdd.CompileOptions{Parallelism: t.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -192,9 +196,14 @@ func (t *Translation) probFromLineage(linQ lineage.DNF, method Method) (float64,
 		if err != nil {
 			return 0, err
 		}
+		// Query OBDDs are synthesized on the shared manager (reusing its
+		// hash-consing across answers), so concurrent Query workers serialize
+		// here; the other methods run lock-free.
+		st.mu.Lock()
 		fQ := obdd.BuildDNF(st.m, linQ)
 		probs := t.DB.Probs()
 		pQW := st.m.Prob(st.m.Or(fQ, st.fW), probs)
+		st.mu.Unlock()
 		return theorem1(pQW, st.pW)
 	case MethodDPLL:
 		if !t.HasConstraints() {
@@ -235,6 +244,13 @@ func theorem1(pQW, pW float64) (float64, error) {
 // with its marginal probability, sorted by head tuple. Tuples whose
 // probability is numerically zero are still reported (they are possible
 // answers in some world).
+//
+// The per-answer probabilities are computed by up to Parallelism workers
+// (see the field doc); the answer order is always the same as sequential
+// evaluation. Before the workers start, W's OBDD (MethodOBDD) and the lazy
+// relation indexes are forced once, so the workers only read shared state —
+// except MethodOBDD's query synthesis, which serializes on the cached
+// manager.
 func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 	if err := t.checkQuery(q.UCQ); err != nil {
 		return nil, err
@@ -257,37 +273,86 @@ func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 			return nil, err
 		}
 	}
-	out := make([]Answer, 0, len(rows))
-	for _, r := range rows {
-		var p float64
+	answer := func(r ucq.AnswerRow) (float64, error) {
 		switch method {
 		case MethodLifted:
 			b, err := q.Bind(r.Head)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			p, err = t.ProbBoolean(b, method)
-			if err != nil {
-				return nil, err
-			}
+			return t.ProbBoolean(b, method)
 		case MethodPlan:
 			pQW, err := qw.ProbWith(r.Head)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			p, err = theorem1(pQW, pW)
-			if err != nil {
-				return nil, err
-			}
+			return theorem1(pQW, pW)
 		default:
-			p, err = t.probFromLineage(r.Lineage, method)
+			return t.probFromLineage(r.Lineage, method)
+		}
+	}
+	out := make([]Answer, len(rows))
+	workers := t.workers()
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		for i, r := range rows {
+			p, err := answer(r)
 			if err != nil {
 				return nil, err
 			}
+			out[i] = Answer{Head: r.Head, Prob: p}
 		}
-		out = append(out, Answer{Head: r.Head, Prob: p})
+		return out, nil
+	}
+	if method == MethodOBDD {
+		// Compile W up front so the workers never race on first-use caching.
+		if _, err := t.ensureOBDD(); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		next int64
+		wg   sync.WaitGroup
+		errs = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(rows) {
+					return
+				}
+				p, err := answer(rows[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = Answer{Head: rows[i].Head, Prob: p}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
+}
+
+// workers resolves the Parallelism knob to a concrete worker count.
+func (t *Translation) workers() int {
+	switch {
+	case t.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case t.Parallelism < 1:
+		return 1
+	}
+	return t.Parallelism
 }
 
 // padDisjuncts renames any of W's variables that collide with the query's

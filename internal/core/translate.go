@@ -31,6 +31,12 @@ type Translation struct {
 	DB     *engine.Database // clone of the MVDB's tables plus the NV relations
 	W      ucq.UCQ          // W = ∨ᵢ Wᵢ, Wᵢ = NVᵢ(x̄) ∧ Qᵢ(x̄)
 
+	// Parallelism bounds the worker count for OBDD compilation of W and for
+	// the per-answer loop in Query: 0 uses GOMAXPROCS, 1 forces the
+	// sequential reference path, N > 1 uses N workers. Set it before the
+	// first evaluation (it is read when W is compiled and on each Query).
+	Parallelism int
+
 	NVRelations       []string // one per non-empty view, in view order
 	PrunedIndependent int      // view tuples with w = 1 skipped
 	DenialViews       []string // views handled by the denial optimization
@@ -142,6 +148,29 @@ func (t *Translation) checkQuery(q ucq.UCQ) error {
 	for _, rel := range q.Relations() {
 		if t.nvSet[rel] {
 			return fmt.Errorf("core: query mentions internal relation %s", rel)
+		}
+	}
+	return nil
+}
+
+// ValidateQuery performs the static input checks on a query over the public
+// schema: every mentioned relation must exist with matching arity, and the
+// internal NV relations are off limits. An error here means the query itself
+// is malformed — as opposed to a failure during evaluation — so callers
+// (e.g. the HTTP server) can classify it as bad input.
+func (t *Translation) ValidateQuery(q ucq.UCQ) error {
+	if err := t.checkQuery(q); err != nil {
+		return err
+	}
+	for _, d := range q.Disjuncts {
+		for _, a := range d.Atoms {
+			r := t.DB.Relation(a.Rel)
+			if r == nil {
+				return fmt.Errorf("core: unknown relation %s", a.Rel)
+			}
+			if len(a.Args) != r.Arity() {
+				return fmt.Errorf("core: relation %s has arity %d, got %d arguments", a.Rel, r.Arity(), len(a.Args))
+			}
 		}
 	}
 	return nil

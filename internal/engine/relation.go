@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Deterministic is the weight of a deterministic tuple: infinite odds,
@@ -44,12 +45,18 @@ func ProbToWeight(p float64) float64 {
 
 // Relation is a named table. Probabilistic relations hold weighted tuples;
 // deterministic relations hold tuples with Weight = Deterministic and Var 0.
+//
+// Reads are safe for concurrent use: the hash and sorted indexes are built
+// lazily under mu, so parallel compilation workers and concurrent query
+// evaluators may share a relation as long as no tuples are being inserted
+// at the same time.
 type Relation struct {
 	Name          string
 	Cols          []string
 	Deterministic bool
 	Tuples        []Tuple
 
+	mu      sync.RWMutex     // guards the lazy index maps below
 	byKey   map[string]int   // full tuple key -> index in Tuples
 	indexes map[int]colIndex // column -> value key -> tuple indexes
 	sorted  map[int][]int    // column -> tuple indexes ordered by value
@@ -77,6 +84,8 @@ func (r *Relation) insert(t Tuple) (int, error) {
 	if len(t.Vals) != len(r.Cols) {
 		return 0, fmt.Errorf("engine: relation %s has arity %d, got %d values", r.Name, len(r.Cols), len(t.Vals))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := TupleKey(t.Vals)
 	if _, dup := r.byKey[key]; dup {
 		return 0, fmt.Errorf("engine: duplicate tuple %s%s", r.Name, FormatTuple(t.Vals))
@@ -94,11 +103,21 @@ func (r *Relation) insert(t Tuple) (int, error) {
 }
 
 // EnsureIndex builds (once) a hash index on the given column and returns it.
+// Safe for concurrent readers: the first caller builds the index under the
+// write lock, later callers get the cached map.
 func (r *Relation) EnsureIndex(col int) colIndex {
+	r.mu.RLock()
+	ix, ok := r.indexes[col]
+	r.mu.RUnlock()
+	if ok {
+		return ix
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if ix, ok := r.indexes[col]; ok {
 		return ix
 	}
-	ix := make(colIndex)
+	ix = make(colIndex)
 	for i, t := range r.Tuples {
 		k := t.Vals[col].Key()
 		ix[k] = append(ix[k], i)
@@ -124,15 +143,24 @@ func (r *Relation) ColIndex(name string) int {
 }
 
 // SortedIndex returns (building and caching on first use) the tuple indexes
-// of the relation ordered by the value in the given column.
+// of the relation ordered by the value in the given column. Safe for
+// concurrent readers, like EnsureIndex.
 func (r *Relation) SortedIndex(col int) []int {
+	r.mu.RLock()
+	ix, ok := r.sorted[col]
+	r.mu.RUnlock()
+	if ok && len(ix) == len(r.Tuples) {
+		return ix
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.sorted == nil {
 		r.sorted = map[int][]int{}
 	}
 	if ix, ok := r.sorted[col]; ok && len(ix) == len(r.Tuples) {
 		return ix
 	}
-	ix := make([]int, len(r.Tuples))
+	ix = make([]int, len(r.Tuples))
 	for i := range ix {
 		ix[i] = i
 	}

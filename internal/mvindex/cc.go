@@ -64,8 +64,9 @@ func (ix *Index) buildCC() {
 // intersect is CC-MVIntersect: the same recursion as MVIntersect, but the
 // ¬W side walks the flattened vector and memoization uses an open-addressed
 // table keyed by (query node, cc index) packed into one int64 — no pointer
-// chasing, no map-bucket overhead.
-func (cc *ccLayout) intersect(ix *Index, fQ obdd.NodeID, s span) float64 {
+// chasing, no map-bucket overhead. qm is the manager holding the query OBDD
+// (the shared manager or a per-call scratch over the same order).
+func (cc *ccLayout) intersect(ix *Index, qm *obdd.Manager, fQ obdd.NodeID, s span) float64 {
 	entry := cc.idOf[ix.chainRoots[s.first]]
 	stop := ccNone
 	if s.stop != obdd.False {
@@ -75,17 +76,17 @@ func (cc *ccLayout) intersect(ix *Index, fQ obdd.NodeID, s span) float64 {
 	}
 	memo := newPairMemo(1 << 10)
 	qprob := map[obdd.NodeID]float64{}
-	return cc.rec(ix, fQ, entry, stop, memo, qprob)
+	return cc.rec(ix, qm, fQ, entry, stop, memo, qprob)
 }
 
 // rec mirrors Index.intersect in conditioned units (see that method): each
 // w-side edge leaving a block divides by the block's probability.
-func (cc *ccLayout) rec(ix *Index, q obdd.NodeID, w, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
+func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
 	if q == obdd.False || w == ccFalse {
 		return 0
 	}
 	if w == ccTrue || w == stop {
-		return ix.qProb(q, qprob)
+		return ix.qProb(qm, q, qprob)
 	}
 	if q == obdd.True {
 		return cc.probUnder[w] / ix.blockProb[cc.block[w]]
@@ -96,18 +97,18 @@ func (cc *ccLayout) rec(ix *Index, q obdd.NodeID, w, stop int32, memo *pairMemo,
 	if r, ok := memo.get(key); ok {
 		return r
 	}
-	lq, lw := ix.m.NodeLevel(q), cc.level[w]
+	lq, lw := qm.NodeLevel(q), cc.level[w]
 	var r float64
 	switch {
 	case lq < lw:
-		p := ix.probs[ix.m.VarAtLevel(int(lq))]
-		r = (1-p)*cc.rec(ix, ix.m.Lo(q), w, stop, memo, qprob) + p*cc.rec(ix, ix.m.Hi(q), w, stop, memo, qprob)
+		p := ix.probs[qm.VarAtLevel(int(lq))]
+		r = (1-p)*cc.rec(ix, qm, qm.Lo(q), w, stop, memo, qprob) + p*cc.rec(ix, qm, qm.Hi(q), w, stop, memo, qprob)
 	case lw < lq:
 		p := cc.prob[w]
-		r = (1-p)*cc.wchild(ix, q, cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, q, cc.hi[w], w, stop, memo, qprob)
+		r = (1-p)*cc.wchild(ix, qm, q, cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, qm, q, cc.hi[w], w, stop, memo, qprob)
 	default:
 		p := cc.prob[w]
-		r = (1-p)*cc.wchild(ix, ix.m.Lo(q), cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, ix.m.Hi(q), cc.hi[w], w, stop, memo, qprob)
+		r = (1-p)*cc.wchild(ix, qm, qm.Lo(q), cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, qm, qm.Hi(q), cc.hi[w], w, stop, memo, qprob)
 	}
 	memo.put(key, r)
 	return r
@@ -115,15 +116,15 @@ func (cc *ccLayout) rec(ix *Index, q obdd.NodeID, w, stop int32, memo *pairMemo,
 
 // wchild evaluates a w-side child edge, dividing by the parent block's
 // probability when the edge leaves the block.
-func (cc *ccLayout) wchild(ix *Index, q obdd.NodeID, c, parent, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
+func (cc *ccLayout) wchild(ix *Index, qm *obdd.Manager, q obdd.NodeID, c, parent, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
 	if q == obdd.False || c == ccFalse {
 		return 0
 	}
 	b := ix.blockProb[cc.block[parent]]
 	if c == ccTrue || c == stop {
-		return ix.qProb(q, qprob) / b
+		return ix.qProb(qm, q, qprob) / b
 	}
-	val := cc.rec(ix, q, c, stop, memo, qprob)
+	val := cc.rec(ix, qm, q, c, stop, memo, qprob)
 	if cc.block[c] > cc.block[parent] {
 		val /= b
 	}

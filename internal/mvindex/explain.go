@@ -50,24 +50,25 @@ func (ix *Index) ExplainLineage(linQ lineage.DNF) (Explain, error) {
 	if linQ.IsFalse() {
 		return ex, nil
 	}
-	fQ := obdd.BuildDNF(ix.m, linQ)
-	ex.QuerySize = ix.m.Size(fQ)
+	qm := ix.m.NewScratch()
+	fQ := obdd.BuildDNF(qm, linQ)
+	ex.QuerySize = qm.Size(fQ)
 	if fQ == obdd.True {
 		ex.Prob = 1
 		return ex, nil
 	}
-	if span := int(ix.m.MaxLevel(fQ)) - int(ix.m.NodeLevel(fQ)) + 1; span > 0 {
+	if span := int(qm.MaxLevel(fQ)) - int(qm.NodeLevel(fQ)) + 1; span > 0 {
 		ex.SpanLevels = span
 	}
 	if ix.m.IsTerminal(ix.root) {
-		ex.Prob = ix.qProb(fQ, map[obdd.NodeID]float64{})
+		ex.Prob = ix.qProb(qm, fQ, map[obdd.NodeID]float64{})
 		return ex, nil
 	}
-	s := ix.spanFor(fQ, IntersectOptions{})
+	s := ix.spanFor(qm, fQ, IntersectOptions{})
 	ex.EntryBlock, ex.LastBlock = s.first, s.last
 	memo := map[[2]obdd.NodeID]float64{}
 	qprob := map[obdd.NodeID]float64{}
-	ex.Prob = ix.intersect(fQ, ix.chainRoots[s.first], s, memo, qprob)
+	ex.Prob = ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob)
 	ex.PairsVisited = len(memo)
 	return ex, nil
 }
@@ -81,7 +82,8 @@ func (ix *Index) TupleMarginal(v int) (float64, error) {
 	if ix.m.Level(v) < 0 {
 		return 0, fmt.Errorf("mvindex: variable %d not in the index order", v)
 	}
-	return ix.IntersectOBDD(ix.m.Var(v), IntersectOptions{CacheConscious: true})
+	qm := ix.m.NewScratch()
+	return ix.intersectOn(qm, qm.Var(v), IntersectOptions{CacheConscious: true})
 }
 
 // AllTupleMarginals computes the corrected marginal probability of every

@@ -30,7 +30,10 @@ package mvindex
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mvdb/internal/core"
 	"mvdb/internal/lineage"
@@ -39,6 +42,15 @@ import (
 )
 
 // Index is a compiled MV-index over a Translation.
+//
+// After Build returns, every field of the Index — including the shared OBDD
+// manager — is frozen: the read path (IntersectOBDD, IntersectLineage,
+// Query, ProbBoolean, ExplainLineage, TupleMarginal, ...) never mutates the
+// index or its manager and is safe for any number of concurrent callers.
+// Per-query OBDDs are built in scratch managers sharing the frozen manager's
+// variable order, and every traversal memo is per-call. The only mutating
+// operations are Reweight and Compact, which require exclusive access (no
+// concurrent readers).
 type Index struct {
 	tr    *core.Translation
 	m     *obdd.Manager
@@ -311,6 +323,21 @@ type IntersectOptions struct {
 	// the query touches — an ablation that forces the traversal to start at
 	// the root block.
 	NoEntryShortcut bool
+	// Parallelism bounds the worker pool of Index.Query's per-answer loop:
+	// 0 uses runtime.GOMAXPROCS(0), 1 evaluates answers sequentially, N > 1
+	// uses N workers. Answer order is preserved for every setting.
+	Parallelism int
+}
+
+// workers resolves the Parallelism knob to an actual worker count.
+func (o IntersectOptions) workers() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // span describes the blocks one query touches.
@@ -319,13 +346,14 @@ type span struct {
 	stop        obdd.NodeID
 }
 
-// spanFor computes the block span of a query OBDD.
-func (ix *Index) spanFor(fQ obdd.NodeID, opts IntersectOptions) span {
+// spanFor computes the block span of a query OBDD (qm is the manager the
+// query OBDD lives in; levels coincide with the index manager's).
+func (ix *Index) spanFor(qm *obdd.Manager, fQ obdd.NodeID, opts IntersectOptions) span {
 	s := span{first: 0, last: len(ix.chainRoots) - 1}
 	if !opts.NoEntryShortcut {
-		s.first = ix.blockForLevel(ix.m.NodeLevel(fQ))
+		s.first = ix.blockForLevel(qm.NodeLevel(fQ))
 	}
-	s.last = ix.blockForLevel(ix.m.MaxLevel(fQ))
+	s.last = ix.blockForLevel(qm.MaxLevel(fQ))
 	if s.last < s.first {
 		s.last = s.first
 	}
@@ -336,18 +364,27 @@ func (ix *Index) spanFor(fQ obdd.NodeID, opts IntersectOptions) span {
 // IntersectLineage computes P(Q) = P0(ΦQ ∧ ¬W) / P0(¬W) for a query
 // lineage. The prefix and suffix blocks outside the query's span cancel in
 // the ratio, so only the touched blocks' probabilities enter the
-// computation.
+// computation. The query OBDD is built in a private scratch manager, so the
+// shared manager stays frozen and concurrent callers never contend.
 func (ix *Index) IntersectLineage(linQ lineage.DNF, opts IntersectOptions) (float64, error) {
 	if linQ.IsFalse() {
 		return 0, nil
 	}
-	fQ := obdd.BuildDNF(ix.m, linQ)
-	return ix.IntersectOBDD(fQ, opts)
+	qm := ix.m.NewScratch()
+	fQ := obdd.BuildDNF(qm, linQ)
+	return ix.intersectOn(qm, fQ, opts)
 }
 
 // IntersectOBDD computes P(Q) = P0(ΦQ ∧ ¬W) / P0(¬W) for a query OBDD built
-// on the shared manager.
+// on the shared manager (or a scratch manager over the same order — pass it
+// through IntersectLineage in that case). Read-only: safe for concurrent
+// callers on a frozen index.
 func (ix *Index) IntersectOBDD(fQ obdd.NodeID, opts IntersectOptions) (float64, error) {
+	return ix.intersectOn(ix.m, fQ, opts)
+}
+
+// intersectOn runs the intersection with the query OBDD living in qm.
+func (ix *Index) intersectOn(qm *obdd.Manager, fQ obdd.NodeID, opts IntersectOptions) (float64, error) {
 	if ix.pNotWSign == 0 {
 		return 0, fmt.Errorf("mvindex: P0(¬W) = 0 — inconsistent MarkoViews")
 	}
@@ -359,15 +396,15 @@ func (ix *Index) IntersectOBDD(fQ obdd.NodeID, opts IntersectOptions) (float64, 
 	}
 	if ix.m.IsTerminal(ix.root) {
 		// No constraints: P(Q) = P0(ΦQ).
-		return ix.qProb(fQ, map[obdd.NodeID]float64{}), nil
+		return ix.qProb(qm, fQ, map[obdd.NodeID]float64{}), nil
 	}
-	s := ix.spanFor(fQ, opts)
+	s := ix.spanFor(qm, fQ, opts)
 	if opts.CacheConscious {
-		return ix.cc.intersect(ix, fQ, s), nil
+		return ix.cc.intersect(ix, qm, fQ, s), nil
 	}
 	memo := map[[2]obdd.NodeID]float64{}
 	qprob := map[obdd.NodeID]float64{}
-	return ix.intersect(fQ, ix.chainRoots[s.first], s, memo, qprob), nil
+	return ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob), nil
 }
 
 // intersect is MVIntersect in conditioned units: it returns
@@ -375,13 +412,13 @@ func (ix *Index) IntersectOBDD(fQ obdd.NodeID, opts IntersectOptions) (float64, 
 // so the final call at the entry chain root directly yields Theorem 1's
 // ratio — every block division happens as its boundary is crossed, and no
 // unrepresentable global product is ever formed.
-func (ix *Index) intersect(q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
+func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
 	if q == obdd.False || w == obdd.False {
 		return 0
 	}
 	if w == s.stop || w == obdd.True {
 		// Constraints beyond the span factor out of the ratio.
-		return ix.qProb(q, qprob)
+		return ix.qProb(qm, q, qprob)
 	}
 	wBlock := ix.blockForLevel(ix.m.NodeLevel(w))
 	if q == obdd.True {
@@ -393,18 +430,18 @@ func (ix *Index) intersect(q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]flo
 	if r, ok := memo[key]; ok {
 		return r
 	}
-	lq, lw := ix.m.NodeLevel(q), ix.m.NodeLevel(w)
+	lq, lw := qm.NodeLevel(q), ix.m.NodeLevel(w)
 	var r float64
 	switch {
 	case lq < lw:
-		p := ix.probs[ix.m.VarAtLevel(int(lq))]
-		r = (1-p)*ix.intersect(ix.m.Lo(q), w, s, memo, qprob) + p*ix.intersect(ix.m.Hi(q), w, s, memo, qprob)
+		p := ix.probs[qm.VarAtLevel(int(lq))]
+		r = (1-p)*ix.intersect(qm, qm.Lo(q), w, s, memo, qprob) + p*ix.intersect(qm, qm.Hi(q), w, s, memo, qprob)
 	case lw < lq:
 		p := ix.probs[ix.m.VarAtLevel(int(lw))]
-		r = (1-p)*ix.wchild(q, ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(q, ix.m.Hi(w), wBlock, s, memo, qprob)
+		r = (1-p)*ix.wchild(qm, q, ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(qm, q, ix.m.Hi(w), wBlock, s, memo, qprob)
 	default:
-		p := ix.probs[ix.m.VarAtLevel(int(lq))]
-		r = (1-p)*ix.wchild(ix.m.Lo(q), ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(ix.m.Hi(q), ix.m.Hi(w), wBlock, s, memo, qprob)
+		p := ix.probs[qm.VarAtLevel(int(lq))]
+		r = (1-p)*ix.wchild(qm, qm.Lo(q), ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(qm, qm.Hi(q), ix.m.Hi(w), wBlock, s, memo, qprob)
 	}
 	memo[key] = r
 	return r
@@ -414,25 +451,25 @@ func (ix *Index) intersect(q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]flo
 // wBlock (into the next chain root or the True terminal) divides by that
 // block's probability; reaching the span's stop root contributes the bare
 // query probability.
-func (ix *Index) wchild(q, c obdd.NodeID, wBlock int, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
+func (ix *Index) wchild(qm *obdd.Manager, q, c obdd.NodeID, wBlock int, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
 	if q == obdd.False || c == obdd.False {
 		return 0
 	}
 	b := ix.blockProb[wBlock]
 	if c == s.stop {
-		return ix.qProb(q, qprob) / b
+		return ix.qProb(qm, q, qprob) / b
 	}
 	if c == obdd.True {
-		return ix.qProb(q, qprob) / b
+		return ix.qProb(qm, q, qprob) / b
 	}
-	val := ix.intersect(q, c, s, memo, qprob)
+	val := ix.intersect(qm, q, c, s, memo, qprob)
 	if ix.blockForLevel(ix.m.NodeLevel(c)) > wBlock {
 		val /= b
 	}
 	return val
 }
 
-func (ix *Index) qProb(q obdd.NodeID, memo map[obdd.NodeID]float64) float64 {
+func (ix *Index) qProb(qm *obdd.Manager, q obdd.NodeID, memo map[obdd.NodeID]float64) float64 {
 	switch q {
 	case obdd.False:
 		return 0
@@ -442,8 +479,8 @@ func (ix *Index) qProb(q obdd.NodeID, memo map[obdd.NodeID]float64) float64 {
 	if p, ok := memo[q]; ok {
 		return p
 	}
-	pv := ix.probs[ix.m.VarAtLevel(int(ix.m.NodeLevel(q)))]
-	r := (1-pv)*ix.qProb(ix.m.Lo(q), memo) + pv*ix.qProb(ix.m.Hi(q), memo)
+	pv := ix.probs[qm.VarAtLevel(int(qm.NodeLevel(q)))]
+	r := (1-pv)*ix.qProb(qm, qm.Lo(q), memo) + pv*ix.qProb(qm, qm.Hi(q), memo)
 	memo[q] = r
 	return r
 }
@@ -457,19 +494,56 @@ func (ix *Index) ProbBoolean(q ucq.UCQ, opts IntersectOptions) (float64, error) 
 	return ix.IntersectLineage(linQ, opts)
 }
 
-// Query evaluates a named query, one probability per answer tuple.
+// Query evaluates a named query, one probability per answer tuple. The
+// per-answer intersections are independent (each builds its query OBDD in a
+// scratch manager), so they fan out across a bounded worker pool sized by
+// opts.Parallelism; answer order is preserved regardless of the setting.
 func (ix *Index) Query(q *ucq.Query, opts IntersectOptions) ([]core.Answer, error) {
 	rows, err := ucq.Eval(ix.tr.DB, q)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]core.Answer, 0, len(rows))
-	for _, r := range rows {
-		p, err := ix.IntersectLineage(r.Lineage, opts)
-		if err != nil {
-			return nil, err
+	out := make([]core.Answer, len(rows))
+	workers := opts.workers()
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		for i, r := range rows {
+			p, err := ix.IntersectLineage(r.Lineage, opts)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = core.Answer{Head: r.Head, Prob: p}
 		}
-		out = append(out, core.Answer{Head: r.Head, Prob: p})
+		return out, nil
+	}
+	var next int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(rows) {
+					return
+				}
+				p, err := ix.IntersectLineage(rows[i].Lineage, opts)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = core.Answer{Head: rows[i].Head, Prob: p}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
 	}
 	return out, nil
 }

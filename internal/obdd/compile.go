@@ -2,7 +2,10 @@ package obdd
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mvdb/internal/engine"
 	"mvdb/internal/lineage"
@@ -21,6 +24,26 @@ type CompileOptions struct {
 	// synthesizes the OBDD traversing Φ recursively"); the resulting OBDD
 	// is identical, construction is superlinear.
 	FromLineage bool
+	// Parallelism bounds the worker count of parallel block compilation in
+	// the separator branch: 0 uses runtime.GOMAXPROCS(0), 1 forces the
+	// strictly sequential path (the exact-equality reference), N > 1 uses N
+	// workers. The per-separator-value blocks of Section 4.2 are independent
+	// sub-OBDDs, so workers compile them in private managers and the owner
+	// merges them with Manager.Import in the same descending order the
+	// sequential path uses — the resulting OBDD is structurally identical
+	// for every setting.
+	Parallelism int
+}
+
+// workers resolves the Parallelism knob to an actual worker count.
+func (o CompileOptions) workers() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // CompileStats reports how the construction proceeded.
@@ -242,23 +265,30 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 		}
 		sort.Slice(domain, func(i, j int) bool { return domain[i].Compare(domain[j]) < 0 })
 
+		// Instantiate the per-separator-value sub-queries up front; each is
+		// an independent block of the chain (Prop. 1).
+		subs := make([]ucq.UCQ, len(domain))
+		for i, v := range domain {
+			for di, d := range u.Disjuncts {
+				if p := probes[di]; p.rel != nil &&
+					len(p.rel.MatchingIndexes(p.pos, v)) == 0 {
+					continue // this disjunct is false at this value
+				}
+				subs[i].Disjuncts = append(subs[i].Disjuncts,
+					d.Subst(map[string]engine.Value{sep.PerDisjunct[di]: v}))
+			}
+		}
+		if workers := c.opts.workers(); workers > 1 && len(subs) > 1 {
+			return c.parallelBlocks(subs, workers)
+		}
 		// Iterate in descending order so each new block is prepended to the
 		// accumulated chain: OrDisjoint(block, acc) costs O(|block|).
 		acc := False
-		for i := len(domain) - 1; i >= 0; i-- {
-			sub := ucq.UCQ{}
-			for di, d := range u.Disjuncts {
-				if p := probes[di]; p.rel != nil &&
-					len(p.rel.MatchingIndexes(p.pos, domain[i])) == 0 {
-					continue // this disjunct is false at this value
-				}
-				sub.Disjuncts = append(sub.Disjuncts,
-					d.Subst(map[string]engine.Value{sep.PerDisjunct[di]: domain[i]}))
-			}
-			if len(sub.Disjuncts) == 0 {
+		for i := len(subs) - 1; i >= 0; i-- {
+			if len(subs[i].Disjuncts) == 0 {
 				continue
 			}
-			block, err := c.ucq(sub)
+			block, err := c.ucq(subs[i])
 			if err != nil {
 				return False, err
 			}
@@ -275,6 +305,72 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 		return False, err
 	}
 	return c.BuildDNF(lin), nil
+}
+
+// parallelBlocks compiles the per-separator-value blocks concurrently. Each
+// worker owns a scratch Manager (hash-consing tables are not shared across
+// goroutines) and a private compiler, and pulls block indexes from a shared
+// atomic counter. The owner then imports every finished block into the main
+// manager and concatenates the chain in the same descending order as the
+// sequential path, so the resulting OBDD — and the compile statistics — are
+// identical to Parallelism: 1.
+func (c *compiler) parallelBlocks(subs []ucq.UCQ, workers int) (NodeID, error) {
+	type blockResult struct {
+		m    *Manager
+		root NodeID
+		err  error
+	}
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	results := make([]blockResult, len(subs))
+	workerStats := make([]CompileStats, workers)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wopts := c.opts
+			wopts.Parallelism = 1 // no nested fan-out inside a worker
+			wc := &compiler{m: c.m.NewScratch(), db: c.db, opts: wopts}
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(subs) {
+					break
+				}
+				if len(subs[i].Disjuncts) == 0 {
+					continue
+				}
+				root, err := wc.ucq(subs[i])
+				results[i] = blockResult{m: wc.m, root: root, err: err}
+				if err != nil {
+					break
+				}
+			}
+			workerStats[w] = wc.stats
+		}(w)
+	}
+	wg.Wait()
+	for _, s := range workerStats {
+		c.stats.Add(s)
+	}
+	for i := range results {
+		if results[i].err != nil {
+			return False, results[i].err
+		}
+	}
+	// Merge: import each block into the main manager and prepend it to the
+	// chain, deepest block first (identical to the sequential loop).
+	acc := False
+	for i := len(subs) - 1; i >= 0; i-- {
+		if results[i].m == nil {
+			continue // empty sub-query, skipped by the worker
+		}
+		block := c.m.Import(results[i].m, results[i].root)
+		acc = c.or2(block, acc)
+	}
+	return acc, nil
 }
 
 // groundCQ compiles a conjunct with no variables: a conjunction of tuple

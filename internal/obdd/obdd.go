@@ -45,6 +45,19 @@ type applyKey struct {
 // Manager owns the node store for a fixed variable order. Nodes are reduced
 // (no node with lo == hi) and hash-consed (structurally unique), so two
 // equivalent formulas compile to the same NodeID.
+//
+// # Concurrency contract
+//
+// A Manager is not synchronized. Node-creating operations (MkNode, Var,
+// Apply synthesis, OrDisjoint, Not, Import, BuildDNF, ...) must run on a
+// single goroutine. Once no more nodes are being created — e.g. after an
+// MV-index is built — the manager is effectively frozen and every read-only
+// operation (NodeLevel, Lo, Hi, MaxLevel, Prob, Eval, Reachable, ...) is
+// safe for any number of concurrent callers. Concurrent writers that need
+// scratch space (per-query OBDDs, parallel compilation workers) should
+// create a private manager over the same order with NewScratch and, when the
+// result must live in the shared manager, merge it back with Import on the
+// owning goroutine.
 type Manager struct {
 	nodes    []node
 	maxLevel []int32 // highest (deepest) variable level in each node's cone
@@ -73,6 +86,97 @@ func NewManager(order []int) *Manager {
 		m.varLevel[v] = int32(i)
 	}
 	return m
+}
+
+// NewScratch creates an empty manager over the same variable order as m,
+// sharing m's (immutable) order tables instead of copying them — the cost is
+// a few small allocations, independent of the number of variables. The
+// scratch manager has its own node store, so building nodes in it never
+// mutates m: this is how concurrent queries compile their OBDDs against a
+// frozen shared manager, and how parallel compilation workers get private
+// node stores.
+func (m *Manager) NewScratch() *Manager {
+	return &Manager{
+		nodes:    []node{{level: terminalLevel}, {level: terminalLevel}},
+		maxLevel: []int32{-1, -1},
+		unique:   make(map[node]NodeID),
+		cache:    make(map[applyKey]NodeID),
+		levelVar: m.levelVar,
+		varLevel: m.varLevel,
+	}
+}
+
+// SameOrder reports whether two managers use the same variable order.
+// Managers related by NewScratch share their order tables and are recognized
+// in O(1); unrelated managers are compared element-wise.
+func (m *Manager) SameOrder(o *Manager) bool {
+	if len(m.levelVar) != len(o.levelVar) {
+		return false
+	}
+	if len(m.levelVar) == 0 || &m.levelVar[0] == &o.levelVar[0] {
+		return true
+	}
+	for i, v := range m.levelVar {
+		if o.levelVar[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Import copies the sub-OBDD rooted at f in src into m, hash-consing the
+// nodes into m's store, and returns the corresponding root in m. Both
+// managers must use the same variable order (levels then coincide, so no
+// re-ordering is needed). The result is structurally identical to f; cost is
+// O(|f|). This is the merge step of parallel compilation: workers build
+// per-separator-value blocks in scratch managers and the owner imports them.
+func (m *Manager) Import(src *Manager, f NodeID) NodeID {
+	if src == m {
+		return f
+	}
+	if !m.SameOrder(src) {
+		panic("obdd: Import between managers with different variable orders")
+	}
+	memo := map[NodeID]NodeID{False: False, True: True}
+	var rec func(NodeID) NodeID
+	rec = func(x NodeID) NodeID {
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		n := src.nodes[x]
+		r := m.MkNode(n.level, rec(n.lo), rec(n.hi))
+		memo[x] = r
+		return r
+	}
+	return rec(f)
+}
+
+// StructEqual reports whether two OBDDs (possibly in different managers) are
+// structurally identical: same levels, same external variables at those
+// levels, same branching. For reduced ordered BDDs over the same order this
+// is exactly semantic equivalence — the equality the parallel-vs-sequential
+// compilation tests assert.
+func StructEqual(ma *Manager, fa NodeID, mb *Manager, fb NodeID) bool {
+	type pair struct{ a, b NodeID }
+	memo := map[pair]bool{}
+	var rec func(a, b NodeID) bool
+	rec = func(a, b NodeID) bool {
+		if ma.IsTerminal(a) || mb.IsTerminal(b) {
+			return a == b // terminals have fixed ids in every manager
+		}
+		k := pair{a, b}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		memo[k] = true // assume equal while descending (graphs are acyclic)
+		na, nb := ma.nodes[a], mb.nodes[b]
+		eq := na.level == nb.level &&
+			ma.levelVar[na.level] == mb.levelVar[nb.level] &&
+			rec(na.lo, nb.lo) && rec(na.hi, nb.hi)
+		memo[k] = eq
+		return eq
+	}
+	return rec(fa, fb)
 }
 
 // NumVars returns the number of variables in the order.

@@ -1,0 +1,174 @@
+package obdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/ucq"
+)
+
+// randSepDB builds a database for Q() :- R(x), S(x,y) with n separator
+// values, random tuple probabilities, and some values missing from R or S so
+// empty blocks and probe pruning are exercised.
+func randSepDB(rng *rand.Rand, n int64) *engine.Database {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("R", false, "a")
+	db.MustCreateRelation("S", false, "a", "b")
+	for i := int64(1); i <= n; i++ {
+		if rng.Intn(5) > 0 {
+			db.MustInsert("R", rng.Float64()*3, engine.Int(i))
+		}
+		for j := int64(0); j < rng.Int63n(4); j++ {
+			db.MustInsert("S", rng.Float64()*3, engine.Int(i), engine.Int(100+10*i+j))
+		}
+	}
+	return db
+}
+
+// compileBoth compiles q sequentially and with the given parallelism and
+// returns both managers/roots plus their stats.
+func compileBoth(t *testing.T, db *engine.Database, q ucq.UCQ, pi Perm, par int) (ms *Manager, fs NodeID, ss CompileStats, mp *Manager, fp NodeID, sp CompileStats) {
+	t.Helper()
+	var err error
+	ms, fs, ss, err = Compile(db, q, pi, CompileOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("sequential compile: %v", err)
+	}
+	mp, fp, sp, err = Compile(db, q, pi, CompileOptions{Parallelism: par})
+	if err != nil {
+		t.Fatalf("parallel compile: %v", err)
+	}
+	return
+}
+
+// assertSame checks the parallel result is structurally identical to the
+// sequential reference: same node structure, size, width, stats, and
+// bitwise-equal probability.
+func assertSame(t *testing.T, db *engine.Database, ms *Manager, fs NodeID, ss CompileStats, mp *Manager, fp NodeID, sp CompileStats) {
+	t.Helper()
+	if !StructEqual(ms, fs, mp, fp) {
+		t.Fatalf("parallel OBDD differs structurally from sequential")
+	}
+	if a, b := ms.Size(fs), mp.Size(fp); a != b {
+		t.Errorf("size: sequential %d, parallel %d", a, b)
+	}
+	if a, b := ms.Width(fs), mp.Width(fp); a != b {
+		t.Errorf("width: sequential %d, parallel %d", a, b)
+	}
+	if ss != sp {
+		t.Errorf("stats: sequential %+v, parallel %+v", ss, sp)
+	}
+	probs := db.Probs()
+	if a, b := ms.Prob(fs, probs), mp.Prob(fp, probs); a != b {
+		t.Errorf("prob: sequential %v, parallel %v (must be bitwise equal)", a, b)
+	}
+}
+
+// TestParallelCompileStructEqual: over random separator databases and worker
+// counts, the parallel block compilation must produce an OBDD structurally
+// identical to the sequential reference — same nodes, stats, and
+// bitwise-identical probability (Parallelism: 1 is the spec).
+func TestParallelCompileStructEqual(t *testing.T) {
+	q := ucq.MustParse("Q() :- R(x), S(x,y)").UCQ
+	sep, ok := q.FindSeparator()
+	if !ok {
+		t.Fatal("query has no separator")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randSepDB(rng, 3+rng.Int63n(12))
+		pi := SeparatorFirstPerm(db, sep)
+		for _, par := range []int{2, 4, 8} {
+			ms, fs, ss, mp, fp, sp := compileBoth(t, db, q, pi, par)
+			assertSame(t, db, ms, fs, ss, mp, fp, sp)
+		}
+	}
+}
+
+// TestParallelCompileUnion: a union with a shared separator — the shape of
+// the DBLP W queries — through the same equivalence check.
+func TestParallelCompileUnion(t *testing.T) {
+	q := ucq.MustParse("Q() :- R(x), S(x,y)\nQ() :- S(x,z), S(x,w), z <> w").UCQ
+	skip := ucq.SkipGround
+	sep, ok := q.FindSeparatorSkip(skip)
+	if !ok {
+		t.Skip("no separator for the union")
+	}
+	for seed := int64(20); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randSepDB(rng, 4+rng.Int63n(8))
+		pi := SeparatorFirstPerm(db, sep)
+		ms, fs, ss, mp, fp, sp := compileBoth(t, db, q, pi, 4)
+		assertSame(t, db, ms, fs, ss, mp, fp, sp)
+	}
+}
+
+// TestParallelCompileSelfJoin: the V2 denial-view body falls back to lineage
+// inside each block; the fallback must be reproduced identically by the
+// parallel workers.
+func TestParallelCompileSelfJoin(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	rng := rand.New(rand.NewSource(7))
+	for s := int64(1); s <= 6; s++ {
+		for j := int64(0); j <= rng.Int63n(3); j++ {
+			db.MustInsert("Adv", rng.Float64(), engine.Int(s), engine.Int(100+10*s+j))
+		}
+	}
+	q := ucq.MustParse("Q() :- Adv(x,a), Adv(x,b), a <> b").UCQ
+	sep, ok := q.FindSeparator()
+	if !ok {
+		t.Fatal("self-join has no separator")
+	}
+	pi := SeparatorFirstPerm(db, sep)
+	ms, fs, ss, mp, fp, sp := compileBoth(t, db, q, pi, 8)
+	assertSame(t, db, ms, fs, ss, mp, fp, sp)
+}
+
+// TestParallelismKnob pins the knob semantics: 0 resolves to GOMAXPROCS,
+// negatives clamp to sequential.
+func TestParallelismKnob(t *testing.T) {
+	for _, c := range []struct{ in, min int }{{1, 1}, {-3, 1}, {6, 6}} {
+		if got := (CompileOptions{Parallelism: c.in}).workers(); got != c.min {
+			t.Errorf("workers(%d) = %d want %d", c.in, got, c.min)
+		}
+	}
+	if got := (CompileOptions{}).workers(); got < 1 {
+		t.Errorf("workers(0) = %d want >= 1 (GOMAXPROCS)", got)
+	}
+}
+
+// TestImportAcrossManagers: Import must reproduce a function node-for-node
+// in another manager over the same order, and refuse mismatched orders.
+func TestImportAcrossManagers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randSepDB(rng, 6)
+	q := ucq.MustParse("Q() :- R(x), S(x,y)").UCQ
+	m, f, _, err := Compile(db, q, IdentityPerm(db), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewScratch()
+	g := s.Import(m, f)
+	if !StructEqual(m, f, s, g) {
+		t.Fatal("imported OBDD differs structurally")
+	}
+	if h := s.Import(s, g); h != g {
+		t.Errorf("same-manager Import must be identity, got %v want %v", h, g)
+	}
+	// Importing from a manager with a different order must panic.
+	db2 := engine.NewDatabase()
+	db2.MustCreateRelation("R", false, "a")
+	db2.MustInsert("R", 1, engine.Int(1))
+	m2, f2, _, err := Compile(db2, ucq.MustParse("Q() :- R(x)").UCQ, IdentityPerm(db2), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Import across different orders must panic")
+		}
+	}()
+	m.Import(m2, f2)
+}

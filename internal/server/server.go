@@ -7,9 +7,12 @@
 //	GET  /stats                                                  → index and dataset statistics
 //	GET  /healthz                                                → liveness
 //
-// The handler is safe for concurrent reads in the common case, but query
-// evaluation extends the shared OBDD manager with query nodes, so requests
-// are serialized with a mutex; the index itself is immutable while serving.
+// Requests run concurrently: the index is frozen after Build and its read
+// path (Query, ExplainBoolean, TupleMarginal) builds query OBDDs in per-call
+// scratch managers, so handlers only take a read lock. The write lock exists
+// for operations that would mutate the index (none are exposed over HTTP
+// today); malformed or unsafe query input is reported as 400 with a JSON
+// error body, while genuine evaluation failures are 422.
 package server
 
 import (
@@ -20,13 +23,14 @@ import (
 	"sync"
 	"time"
 
+	"mvdb/internal/core"
 	"mvdb/internal/mvindex"
 	"mvdb/internal/ucq"
 )
 
 // Server wraps an MV-index as an http.Handler.
 type Server struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex // read-held by handlers; write-held only by index mutation
 	ix  *mvindex.Index
 	mux *http.ServeMux
 }
@@ -77,9 +81,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := mvindex.IntersectOptions{CacheConscious: req.CacheConscious == nil || *req.CacheConscious}
 	t0 := time.Now()
-	s.mu.Lock()
-	rows, err := s.ix.Query(q, opts)
-	s.mu.Unlock()
+	s.mu.RLock()
+	verr := s.ix.Translation().ValidateQuery(q.UCQ)
+	var rows []core.Answer
+	if verr == nil {
+		rows, err = s.ix.Query(q, opts)
+	}
+	s.mu.RUnlock()
+	if verr != nil {
+		httpError(w, http.StatusBadRequest, "bad query: %v", verr)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
 		return
@@ -111,9 +123,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b := ucq.UCQ{Disjuncts: q.Disjuncts}
-	s.mu.Lock()
-	ex, err := s.ix.ExplainBoolean(b)
-	s.mu.Unlock()
+	s.mu.RLock()
+	verr := s.ix.Translation().ValidateQuery(b)
+	var ex mvindex.Explain
+	if verr == nil {
+		ex, err = s.ix.ExplainBoolean(b)
+	}
+	s.mu.RUnlock()
+	if verr != nil {
+		httpError(w, http.StatusBadRequest, "bad query: %v", verr)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
 		return
@@ -138,7 +158,7 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "var must be a positive integer")
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	p, err := s.ix.TupleMarginal(v)
 	var rel string
 	var vals []any
@@ -155,7 +175,7 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
@@ -164,7 +184,8 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	tr := s.ix.Translation()
 	stats := []map[string]any{}
 	for _, st := range tr.DB.Stats() {

@@ -2,10 +2,12 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"mvdb/internal/core"
@@ -84,13 +86,60 @@ func TestQueryEndpointErrors(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("bad query: code = %d", rec.Code)
 	}
-	rec, _ = do(t, s, "POST", "/query", `{"query": "Q(x) :- Nope(x)"}`)
-	if rec.Code != http.StatusUnprocessableEntity {
-		t.Errorf("unknown relation: code = %d", rec.Code)
-	}
 	rec, _ = do(t, s, "GET", "/query", "")
 	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
 		t.Errorf("GET /query: code = %d", rec.Code)
+	}
+}
+
+// TestBadInputIs400 pins the input-error contract: malformed or unsafe query
+// input — unknown relations, wrong arity, internal NV relations — is the
+// client's fault and must come back as 400 with a JSON error body, never as
+// 500 or 422 (those are reserved for evaluation failures).
+func TestBadInputIs400(t *testing.T) {
+	// A soft (non-denial) view so the translation has a real NV relation.
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	db.MustInsert("Adv", 2.0, engine.Int(1), engine.Int(10))
+	db.MustInsert("Adv", 2.0, engine.Int(1), engine.Int(11))
+	m := core.New(db)
+	v, err := core.ParseView("V(s,a,b) :- Adv(s,a), Adv(s,b), a <> b", core.ConstWeight(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Translate(core.TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := mvindex.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ix)
+	if len(tr.NVRelations) == 0 {
+		t.Fatal("soft view produced no NV relation")
+	}
+	nv := tr.NVRelations[0]
+	cases := []struct {
+		name, body string
+		path       string
+	}{
+		{"unknown relation", `{"query": "Q(x) :- Nope(x)"}`, "/query"},
+		{"wrong arity", `{"query": "Q(x) :- Adv(x)"}`, "/query"},
+		{"internal NV relation", `{"query": "Q(x) :- ` + nv + `(x,y,z)"}`, "/query"},
+		{"explain unknown relation", `{"query": "Q() :- Nope(x)"}`, "/explain"},
+	}
+	for _, c := range cases {
+		rec, out := do(t, s, "POST", c.path, c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: code = %d want 400 (body %s)", c.name, rec.Code, rec.Body)
+		}
+		if msg, ok := out["error"].(string); !ok || msg == "" {
+			t.Errorf("%s: missing JSON error body: %s", c.name, rec.Body)
+		}
 	}
 }
 
@@ -153,4 +202,69 @@ func TestStatsAndHealth(t *testing.T) {
 
 func mustUCQ(src string) ucq.UCQ {
 	return ucq.MustParse(src).UCQ
+}
+
+// TestConcurrentQueryHammer fires 32 goroutines of mixed HTTP traffic —
+// queries, explains, marginals, stats — at one server sharing one index.
+// Every query response must equal the single-threaded reference; run under
+// -race this exercises the RWMutex read path and the index's frozen-state
+// contract end to end.
+func TestConcurrentQueryHammer(t *testing.T) {
+	s, _ := testServer(t)
+	ref, refOut := do(t, s, "POST", "/query", `{"query": "Q(a) :- Adv(1,a)"}`)
+	if ref.Code != http.StatusOK {
+		t.Fatalf("reference query: code = %d", ref.Code)
+	}
+	wantAnswers, _ := json.Marshal(refOut["answers"])
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*8)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				body := `{"query": "Q(a) :- Adv(1,a)"}`
+				if g%2 == 0 {
+					body = `{"query": "Q(a) :- Adv(1,a)", "cache_conscious": false}`
+				}
+				req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Sprintf("query code %d", rec.Code)
+					continue
+				}
+				var out map[string]any
+				if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+					errs <- "bad json: " + err.Error()
+					continue
+				}
+				got, _ := json.Marshal(out["answers"])
+				if string(got) != string(wantAnswers) {
+					errs <- "answers diverged: " + string(got)
+				}
+				for _, p := range []string{"/stats", "/marginal?var=1", "/healthz"} {
+					req := httptest.NewRequest("GET", p, nil)
+					rec := httptest.NewRecorder()
+					s.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						errs <- p + " failed"
+					}
+				}
+				req = httptest.NewRequest("POST", "/explain", strings.NewReader(`{"query": "Q() :- Adv(1,a)"}`))
+				rec = httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- "explain failed"
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
 }
