@@ -1,12 +1,42 @@
 #!/bin/sh
-# CI gate: vet + full test suite under the race detector.
+# CI gate: vet + full test suite under the race detector + an end-to-end
+# mvdbd smoke test.
 #
 # The -race run is load-bearing: the concurrency layer (parallel block
-# compilation, concurrent MV-index reads, RWMutex HTTP serving) is guarded
-# by hammer tests that only bite with the detector on.
+# compilation, concurrent MV-index reads, RWMutex HTTP serving) and the
+# cancellation/budget layer (mid-compile aborts, shared budget counters)
+# are guarded by hammer tests that only bite with the detector on.
 set -eux
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./...
+go test -timeout 5m ./...
+go test -race -timeout 10m ./...
+
+# All four binaries must build.
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+for cmd in dblpgen mvbench mvdb mvdbd; do
+    go build -o "$bindir/$cmd" ./cmd/$cmd
+done
+
+# Smoke test: boot mvdbd on a small dataset, hit /readyz, then verify that
+# SIGTERM drains and exits 0 (the graceful-shutdown contract of DESIGN.md §7).
+addr=127.0.0.1:18321
+"$bindir/mvdbd" -addr "$addr" -authors 120 -query-timeout 10s &
+mvdbd_pid=$!
+ready=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { kill "$mvdbd_pid" 2>/dev/null; echo "mvdbd never became ready"; exit 1; }
+curl -fsS -X POST "http://$addr/query" -H 'Content-Type: application/json' \
+    -d '{"query": "Q(a) :- Advisor(104,a)"}' >/dev/null
+kill -TERM "$mvdbd_pid"
+wait "$mvdbd_pid"   # set -e fails the gate if the drain exits non-zero
+
+echo "ci.sh: all gates passed"

@@ -34,6 +34,7 @@ func main() {
 		format      = flag.String("format", "text", "output format: text or csv")
 		parallelism = flag.Int("parallelism", 0, "workers for parallel compile/query experiments (0 = GOMAXPROCS, 1 = sequential)")
 		parJSON     = flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON report (empty to skip)")
+		timeout     = flag.Duration("timeout", 0, "watchdog per experiment (0 = none); a stuck experiment aborts the run with exit 1")
 	)
 	flag.Parse()
 
@@ -68,6 +69,16 @@ func main() {
 			os.Exit(2)
 		}
 		t0 := time.Now()
+		if *timeout > 0 {
+			// Watchdog: a wedged experiment must not hang an unattended
+			// sweep forever. The experiments have no cancellation hooks, so
+			// the deadline is enforced by aborting the process.
+			wd := time.AfterFunc(*timeout, func() {
+				fmt.Fprintf(os.Stderr, "mvbench: %s exceeded the %v watchdog; aborting\n", id, *timeout)
+				os.Exit(1)
+			})
+			defer wd.Stop()
+		}
 		tab, err := runner(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mvbench: %s: %v\n", id, err)

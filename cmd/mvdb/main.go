@@ -220,7 +220,7 @@ func (s *session) explain(src string) error {
 		return err
 	}
 	b := ucq.UCQ{Disjuncts: q.Disjuncts}
-	ex, err := s.ix.ExplainBoolean(b)
+	ex, err := s.ix.ExplainBoolean(b, mvindex.IntersectOptions{})
 	if err != nil {
 		return err
 	}
@@ -273,7 +273,7 @@ func (s *session) marginal(src string) error {
 		fmt.Println("deterministic tuple: probability 1")
 		return nil
 	}
-	p, err := s.ix.TupleMarginal(tup.Var)
+	p, err := s.ix.TupleMarginal(tup.Var, mvindex.IntersectOptions{})
 	if err != nil {
 		return err
 	}

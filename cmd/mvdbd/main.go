@@ -6,16 +6,28 @@
 //	mvdbd -load-index dblp.mvx -addr :8080
 //
 //	curl -s localhost:8080/stats
-//	curl -s -X POST localhost:8080/query -d '{"query": "Q(a) :- Advisor(104,a)"}'
+//	curl -s -X POST localhost:8080/query -H 'Content-Type: application/json' \
+//	     -d '{"query": "Q(a) :- Advisor(104,a)"}'
+//
+// The service degrades gracefully under pressure: -query-timeout bounds each
+// evaluation (408 on expiry), -max-nodes/-max-pairs bound its resources (503
+// on exhaustion), -max-inflight sheds excess load (503 + Retry-After), and
+// SIGINT/SIGTERM drain in-flight requests before exiting 0. /healthz reports
+// liveness, /readyz readiness (503 while draining).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"mvdb/internal/budget"
 	"mvdb/internal/core"
 	"mvdb/internal/dblp"
 	"mvdb/internal/mvindex"
@@ -29,6 +41,13 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		loadIndex = flag.String("load-index", "", "serve a previously saved MV-index instead of generating data")
 		par       = flag.Int("parallelism", 0, "workers for OBDD compilation (0 = GOMAXPROCS, 1 = sequential)")
+
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request evaluation timeout (0 = none); expiry returns 408")
+		maxInflight  = flag.Int("max-inflight", 64, "concurrently evaluating requests before shedding with 503 (0 = unlimited)")
+		maxNodes     = flag.Int("max-nodes", 0, "OBDD nodes a single evaluation may allocate (0 = unlimited); exhaustion returns 503")
+		maxPairs     = flag.Int("max-pairs", 0, "intersection pairs a single evaluation may visit (0 = unlimited); exhaustion returns 503")
+		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes; larger bodies return 413")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	)
 	flag.Parse()
 
@@ -61,15 +80,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mvdbd:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "ready in %v: %d index nodes, %d blocks; listening on %s\n",
-		time.Since(t0).Round(time.Millisecond), ix.Size(), ix.Blocks(), *addr)
+
+	h := server.NewWith(ix, server.Config{
+		QueryTimeout: *queryTimeout,
+		MaxInflight:  *maxInflight,
+		MaxBodyBytes: *maxBody,
+		Budget:       budget.Budget{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(ix),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	fmt.Fprintf(os.Stderr, "ready in %v: %d index nodes, %d blocks; listening on %s\n",
+		time.Since(t0).Round(time.Millisecond), ix.Size(), ix.Blocks(), *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "mvdbd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "mvdbd: shutting down, draining in-flight requests...")
+	h.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "mvdbd: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "mvdbd:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "mvdbd: clean exit")
 }

@@ -106,7 +106,7 @@ func TestIntegrationDBLPPipeline(t *testing.T) {
 		if i >= 20 {
 			break
 		}
-		single, err := ix.TupleMarginal(tup.Var)
+		single, err := ix.TupleMarginal(tup.Var, mvdb.IntersectOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

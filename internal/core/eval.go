@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mvdb/internal/budget"
 	"mvdb/internal/engine"
 	"mvdb/internal/lift"
 	"mvdb/internal/lineage"
@@ -16,6 +18,22 @@ import (
 	"mvdb/internal/ucq"
 	"mvdb/internal/wmc"
 )
+
+// bounds bundles the optional cancellation context and resource budget of
+// one evaluation. The zero value imposes nothing.
+type bounds struct {
+	ctx context.Context
+	b   budget.Budget
+}
+
+func (bo bounds) bounded() bool { return bo.ctx != nil || !bo.b.IsZero() }
+
+func (bo bounds) check() error {
+	if !bo.bounded() {
+		return nil
+	}
+	return budget.Check(bo.ctx, bo.b.Deadline)
+}
 
 // Method selects how P0 probabilities on the translated INDB are computed.
 type Method int
@@ -74,10 +92,17 @@ type obddState struct {
 // has a separator, and caches the manager. The Translation must not be
 // mutated afterwards.
 func (t *Translation) ensureOBDD() (*obddState, error) {
+	return t.ensureOBDDBounded(bounds{})
+}
+
+// ensureOBDDBounded is ensureOBDD under the given bounds: the compile of W
+// honors cancellation and MaxNodes, and a failed compile caches nothing, so
+// a later call with a looser budget can still succeed.
+func (t *Translation) ensureOBDDBounded(bo bounds) (*obddState, error) {
 	if t.obdd != nil {
 		return t.obdd, nil
 	}
-	m, fW, stats, err := t.CompileW(obdd.CompileOptions{Parallelism: t.Parallelism})
+	m, fW, stats, err := t.CompileW(obdd.CompileOptions{Parallelism: t.Parallelism, Ctx: bo.ctx, Budget: bo.b})
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +138,7 @@ func (t *Translation) ProbW(method Method) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return lineage.BruteForceProb(lin, t.DB.Probs()), nil
+		return lineage.BruteForceProb(lin, t.DB.Probs())
 	case MethodOBDD:
 		st, err := t.ensureOBDD()
 		if err != nil {
@@ -141,7 +166,24 @@ func (t *Translation) ProbW(method Method) (float64, error) {
 // ProbBoolean computes P(Q) for a Boolean query over the original schema via
 // Theorem 1.
 func (t *Translation) ProbBoolean(q ucq.UCQ, method Method) (float64, error) {
+	return t.probBoolean(q, method, bounds{})
+}
+
+// ProbBooleanContext is ProbBoolean under a cancellation context and resource
+// budget: compiling W (MethodOBDD) and synthesizing the query OBDD observe
+// ctx, the deadline, and MaxNodes, failing with errors wrapping
+// budget.ErrCanceled or budget.ErrBudgetExceeded. For MethodOBDD, MaxNodes
+// bounds the total size of the shared manager (W plus synthesized queries).
+// The other methods check the bounds at coarser granularity.
+func (t *Translation) ProbBooleanContext(ctx context.Context, q ucq.UCQ, method Method, b budget.Budget) (float64, error) {
+	return t.probBoolean(q, method, bounds{ctx: ctx, b: b})
+}
+
+func (t *Translation) probBoolean(q ucq.UCQ, method Method, bo bounds) (float64, error) {
 	if err := t.checkQuery(q); err != nil {
+		return 0, err
+	}
+	if err := bo.check(); err != nil {
 		return 0, err
 	}
 	if method != MethodLifted && method != MethodPlan {
@@ -149,7 +191,7 @@ func (t *Translation) ProbBoolean(q ucq.UCQ, method Method) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return t.probFromLineage(lin, method)
+		return t.probFromLineage(lin, method, bo)
 	}
 	// Lifted / safe-plan: evaluate P0(Q ∨ W) and P0(W) as UCQs.
 	pW, err := t.ProbW(method)
@@ -177,33 +219,50 @@ func (t *Translation) ProbBoolean(q ucq.UCQ, method Method) (float64, error) {
 
 // probFromLineage applies Theorem 1 given the query's lineage on the
 // translated database.
-func (t *Translation) probFromLineage(linQ lineage.DNF, method Method) (float64, error) {
+func (t *Translation) probFromLineage(linQ lineage.DNF, method Method, bo bounds) (float64, error) {
 	switch method {
 	case MethodBruteForce:
 		if !t.HasConstraints() {
-			return lineage.BruteForceProb(linQ, t.DB.Probs()), nil
+			return lineage.BruteForceProb(linQ, t.DB.Probs())
 		}
 		linW, err := t.WLineage()
 		if err != nil {
 			return 0, err
 		}
 		probs := t.DB.Probs()
-		pW := lineage.BruteForceProb(linW, probs)
-		pQW := lineage.BruteForceProb(lineage.Or(linQ, linW), probs)
+		pW, err := lineage.BruteForceProb(linW, probs)
+		if err != nil {
+			return 0, err
+		}
+		pQW, err := lineage.BruteForceProb(lineage.Or(linQ, linW), probs)
+		if err != nil {
+			return 0, err
+		}
 		return theorem1(pQW, pW)
 	case MethodOBDD:
-		st, err := t.ensureOBDD()
+		st, err := t.ensureOBDDBounded(bo)
 		if err != nil {
 			return 0, err
 		}
 		// Query OBDDs are synthesized on the shared manager (reusing its
 		// hash-consing across answers), so concurrent Query workers serialize
-		// here; the other methods run lock-free.
+		// here; the other methods run lock-free. Arming the manager is a
+		// write, so it happens under the same lock; the bounds apply to this
+		// synthesis only and the manager is disarmed before unlocking.
 		st.mu.Lock()
-		fQ := obdd.BuildDNF(st.m, linQ)
-		probs := t.DB.Probs()
-		pQW := st.m.Prob(st.m.Or(fQ, st.fW), probs)
-		st.mu.Unlock()
+		defer st.mu.Unlock()
+		if bo.bounded() {
+			st.m.SetBudget(bo.ctx, bo.b)
+			defer st.m.SetBudget(nil, budget.Budget{})
+		}
+		var pQW float64
+		if err := budget.Catch(func() {
+			fQ := obdd.BuildDNF(st.m, linQ)
+			probs := t.DB.Probs()
+			pQW = st.m.Prob(st.m.Or(fQ, st.fW), probs)
+		}); err != nil {
+			return 0, err
+		}
 		return theorem1(pQW, st.pW)
 	case MethodDPLL:
 		if !t.HasConstraints() {
@@ -252,7 +311,24 @@ func theorem1(pQW, pW float64) (float64, error) {
 // except MethodOBDD's query synthesis, which serializes on the cached
 // manager.
 func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
+	return t.queryBounded(q, method, bounds{})
+}
+
+// QueryContext is Query under a cancellation context and resource budget.
+// Cancellation and the deadline are observed between answers and inside
+// MethodOBDD's compile and synthesis steps; MaxNodes bounds the shared
+// manager's total size (see ProbBooleanContext). A violation aborts the
+// whole query with an error wrapping budget.ErrCanceled or
+// budget.ErrBudgetExceeded — no partial answer set is returned.
+func (t *Translation) QueryContext(ctx context.Context, q *ucq.Query, method Method, b budget.Budget) ([]Answer, error) {
+	return t.queryBounded(q, method, bounds{ctx: ctx, b: b})
+}
+
+func (t *Translation) queryBounded(q *ucq.Query, method Method, bo bounds) ([]Answer, error) {
 	if err := t.checkQuery(q.UCQ); err != nil {
+		return nil, err
+	}
+	if err := bo.check(); err != nil {
 		return nil, err
 	}
 	rows, err := ucq.Eval(t.DB, q)
@@ -280,7 +356,7 @@ func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 			if err != nil {
 				return 0, err
 			}
-			return t.ProbBoolean(b, method)
+			return t.probBoolean(b, method, bo)
 		case MethodPlan:
 			pQW, err := qw.ProbWith(r.Head)
 			if err != nil {
@@ -288,7 +364,7 @@ func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 			}
 			return theorem1(pQW, pW)
 		default:
-			return t.probFromLineage(r.Lineage, method)
+			return t.probFromLineage(r.Lineage, method, bo)
 		}
 	}
 	out := make([]Answer, len(rows))
@@ -298,6 +374,9 @@ func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 	}
 	if workers <= 1 {
 		for i, r := range rows {
+			if err := bo.check(); err != nil {
+				return nil, err
+			}
 			p, err := answer(r)
 			if err != nil {
 				return nil, err
@@ -308,7 +387,7 @@ func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 	}
 	if method == MethodOBDD {
 		// Compile W up front so the workers never race on first-use caching.
-		if _, err := t.ensureOBDD(); err != nil {
+		if _, err := t.ensureOBDDBounded(bo); err != nil {
 			return nil, err
 		}
 	}
@@ -324,6 +403,10 @@ func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(rows) {
+					return
+				}
+				if err := bo.check(); err != nil {
+					errs[w] = err
 					return
 				}
 				p, err := answer(rows[i])
@@ -527,8 +610,12 @@ func (t *Translation) ProbGivenTuples(q ucq.UCQ, ev Evidence, method Method) (fl
 		notW := lineage.Not{F: lineage.FromDNF(linW)}
 		qAndNotW := lineage.And{lineage.FromDNF(linQ), notW}
 		if method == MethodBruteForce {
-			pNotW = lineage.BruteForceProbFormula(notW, probs)
-			pQNotW = lineage.BruteForceProbFormula(qAndNotW, probs)
+			if pNotW, err = lineage.BruteForceProbFormula(notW, probs); err != nil {
+				return 0, err
+			}
+			if pQNotW, err = lineage.BruteForceProbFormula(qAndNotW, probs); err != nil {
+				return 0, err
+			}
 		} else {
 			s := wmc.NewSolver(probs)
 			pW := s.Prob(linW)
@@ -539,7 +626,10 @@ func (t *Translation) ProbGivenTuples(q ucq.UCQ, ev Evidence, method Method) (fl
 	} else {
 		pNotW = 1
 		if method == MethodBruteForce {
-			pQNotW = lineage.BruteForceProb(linQ, probs)
+			var err error
+			if pQNotW, err = lineage.BruteForceProb(linQ, probs); err != nil {
+				return 0, err
+			}
 		} else {
 			pQNotW = wmc.Prob(linQ, probs)
 		}

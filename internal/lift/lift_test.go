@@ -43,7 +43,11 @@ func bruteForce(t *testing.T, db *engine.Database, u ucq.UCQ) float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return lineage.BruteForceProb(lin, db.Probs())
+	p, err := lineage.BruteForceProb(lin, db.Probs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func TestLiftedSafeQueries(t *testing.T) {

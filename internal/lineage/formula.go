@@ -1,6 +1,7 @@
 package lineage
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -137,11 +138,12 @@ func FormulaVars(f Formula) []int {
 }
 
 // BruteForceProbFormula computes the exact probability of an arbitrary
-// formula by enumeration, analogous to BruteForceProb.
-func BruteForceProbFormula(f Formula, probs []float64) float64 {
+// formula by enumeration, analogous to BruteForceProb. Supports over 30
+// variables are refused with an error rather than enumerated.
+func BruteForceProbFormula(f Formula, probs []float64) (float64, error) {
 	vars := FormulaVars(f)
 	if len(vars) > 30 {
-		panic("lineage: brute force over more than 30 variables")
+		return 0, fmt.Errorf("lineage: brute force over %d variables (max 30)", len(vars))
 	}
 	total := 0.0
 	for mask := 0; mask < 1<<uint(len(vars)); mask++ {
@@ -159,5 +161,5 @@ func BruteForceProbFormula(f Formula, probs []float64) float64 {
 			total += p
 		}
 	}
-	return total
+	return total, nil
 }

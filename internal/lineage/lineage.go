@@ -8,6 +8,7 @@
 package lineage
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -188,12 +189,12 @@ func (d DNF) Size() int {
 // BruteForceProb computes the exact probability of the DNF by enumerating
 // all assignments of its support variables. probs is indexed by variable id
 // and may contain negative entries (Section 3.3 of the paper); the sum of
-// products is still the correct weight-relative measure. The support must
-// not exceed 30 variables.
-func BruteForceProb(d DNF, probs []float64) float64 {
+// products is still the correct weight-relative measure. Supports over 30
+// variables are refused with an error rather than enumerated.
+func BruteForceProb(d DNF, probs []float64) (float64, error) {
 	vars := d.Vars()
 	if len(vars) > 30 {
-		panic("lineage: brute force over more than 30 variables")
+		return 0, fmt.Errorf("lineage: brute force over %d variables (max 30)", len(vars))
 	}
 	total := 0.0
 	n := len(vars)
@@ -212,5 +213,5 @@ func BruteForceProb(d DNF, probs []float64) float64 {
 			total += p
 		}
 	}
-	return total
+	return total, nil
 }

@@ -100,18 +100,18 @@ func TestBruteForceProb(t *testing.T) {
 	probs := []float64{0, 0.3, 0.6}
 	d := DNF{{1}, {2}}
 	want := 0.3 + 0.6 - 0.18
-	if got := BruteForceProb(d, probs); math.Abs(got-want) > 1e-12 {
+	if got := bfProb(d, probs); math.Abs(got-want) > 1e-12 {
 		t.Errorf("P = %v want %v", got, want)
 	}
 	// P(x1 ∧ x2) = p1p2.
 	d = DNF{{1, 2}}
-	if got := BruteForceProb(d, probs); math.Abs(got-0.18) > 1e-12 {
+	if got := bfProb(d, probs); math.Abs(got-0.18) > 1e-12 {
 		t.Errorf("P(and) = %v", got)
 	}
-	if got := BruteForceProb(True(), probs); got != 1 {
+	if got := bfProb(True(), probs); got != 1 {
 		t.Errorf("P(true) = %v", got)
 	}
-	if got := BruteForceProb(False(), probs); got != 0 {
+	if got := bfProb(False(), probs); got != 0 {
 		t.Errorf("P(false) = %v", got)
 	}
 }
@@ -121,7 +121,7 @@ func TestBruteForceProbNegative(t *testing.T) {
 	probs := []float64{0, -0.5, 0.4}
 	d := DNF{{1}, {2}}
 	want := -0.5 + 0.4 - (-0.5)*0.4
-	if got := BruteForceProb(d, probs); math.Abs(got-want) > 1e-12 {
+	if got := bfProb(d, probs); math.Abs(got-want) > 1e-12 {
 		t.Errorf("P = %v want %v", got, want)
 	}
 }
@@ -167,7 +167,7 @@ func TestFromDNFAgrees(t *testing.T) {
 		for i := 1; i <= nv; i++ {
 			probs[i] = rng.Float64()
 		}
-		a, b := BruteForceProb(d, probs), BruteForceProbFormula(f, probs)
+		a, b := bfProb(d, probs), bfProbF(f, probs)
 		if math.Abs(a-b) > 1e-12 {
 			t.Fatalf("DNF %v: %v vs %v", d, a, b)
 		}
@@ -178,7 +178,7 @@ func TestConstFormula(t *testing.T) {
 	if !Const(true).Eval(nil) || Const(false).Eval(nil) {
 		t.Error("Const eval wrong")
 	}
-	if BruteForceProbFormula(Const(true), []float64{0}) != 1 {
+	if bfProbF(Const(true), []float64{0}) != 1 {
 		t.Error("P(true) != 1")
 	}
 	if got := (Not{Const(false)}).String(); got != "¬false" {
@@ -199,5 +199,40 @@ func TestStrings(t *testing.T) {
 	f := Or_{And{Var(1), Var(2)}}
 	if s := f.String(); s != "((x1 ∧ x2))" {
 		t.Errorf("formula string = %q", s)
+	}
+}
+
+// bfProb and bfProbF wrap the error-returning brute-force evaluators for
+// test fixtures known to stay within the 30-variable limit.
+func bfProb(d DNF, probs []float64) float64 {
+	p, err := BruteForceProb(d, probs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func bfProbF(f Formula, probs []float64) float64 {
+	p, err := BruteForceProbFormula(f, probs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestBruteForceTooLargeRefused: supports beyond 30 variables return an
+// error instead of panicking.
+func TestBruteForceTooLargeRefused(t *testing.T) {
+	term := make([]int, 31)
+	probs := make([]float64, 32)
+	for i := range term {
+		term[i] = i + 1
+		probs[i+1] = 0.5
+	}
+	if _, err := BruteForceProb(DNF{term}, probs); err == nil {
+		t.Error("BruteForceProb over 31 variables: want error, got nil")
+	}
+	if _, err := BruteForceProbFormula(FromDNF(DNF{term}), probs); err == nil {
+		t.Error("BruteForceProbFormula over 31 variables: want error, got nil")
 	}
 }

@@ -100,10 +100,10 @@ func TestQuickInclusionExclusion(t *testing.T) {
 				and = append(and, Term(append(append([]int{}, t1...), t2...)...))
 			}
 		}
-		pOr := BruteForceProb(Or(c1.D, c2.D), probs)
-		pA := BruteForceProb(c1.D, probs)
-		pB := BruteForceProb(c2.D, probs)
-		pAnd := BruteForceProb(and, probs)
+		pOr := bfProb(Or(c1.D, c2.D), probs)
+		pA := bfProb(c1.D, probs)
+		pB := bfProb(c2.D, probs)
+		pAnd := bfProb(and, probs)
 		return math.Abs(pOr-(pA+pB-pAnd)) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -120,8 +120,8 @@ func TestQuickNegationRule(t *testing.T) {
 			probs[i] = rng.Float64()*3 - 1
 		}
 		fm := FromDNF(c.D)
-		p := BruteForceProbFormula(fm, probs)
-		np := BruteForceProbFormula(Not{F: fm}, probs)
+		p := bfProbF(fm, probs)
+		np := bfProbF(Not{F: fm}, probs)
 		return math.Abs(p+np-1) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

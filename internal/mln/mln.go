@@ -88,25 +88,28 @@ func (n *Network) WorldWeight(assign func(v int) bool) float64 {
 	return w
 }
 
-// Partition computes Z by enumerating all 2^NumVars worlds. NumVars must not
-// exceed 30.
-func (n *Network) Partition() float64 {
-	z, _ := n.enumerate(nil)
-	return z
+// Partition computes Z by enumerating all 2^NumVars worlds. Networks over
+// more than 30 variables are refused with an error rather than enumerated.
+func (n *Network) Partition() (float64, error) {
+	z, _, err := n.enumerate(nil)
+	return z, err
 }
 
 // MarginalExact computes P(q) = Φ(q)/Z by enumeration (ground truth).
 func (n *Network) MarginalExact(q lineage.Formula) (float64, error) {
-	z, phiQ := n.enumerate(q)
+	z, phiQ, err := n.enumerate(q)
+	if err != nil {
+		return 0, err
+	}
 	if z == 0 {
 		return 0, fmt.Errorf("mln: partition function is zero (inconsistent hard constraints)")
 	}
 	return phiQ / z, nil
 }
 
-func (n *Network) enumerate(q lineage.Formula) (z, phiQ float64) {
+func (n *Network) enumerate(q lineage.Formula) (z, phiQ float64, err error) {
 	if n.NumVars > 30 {
-		panic("mln: exact enumeration over more than 30 variables")
+		return 0, 0, fmt.Errorf("mln: exact enumeration over %d variables (max 30)", n.NumVars)
 	}
 	for mask := 0; mask < 1<<uint(n.NumVars); mask++ {
 		assign := func(v int) bool { return mask&(1<<uint(v-1)) != 0 }
@@ -116,7 +119,7 @@ func (n *Network) enumerate(q lineage.Formula) (z, phiQ float64) {
 			phiQ += w
 		}
 	}
-	return z, phiQ
+	return z, phiQ, nil
 }
 
 // normalized returns the features with weights folded into the ≥1 range:

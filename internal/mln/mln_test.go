@@ -27,7 +27,9 @@ func TestWorldWeightExample1(t *testing.T) {
 			t.Errorf("Φ(%b) = %v want %v", mask, got, want)
 		}
 	}
-	if z := n.Partition(); math.Abs(z-(1+w1+w2+w*w1*w2)) > 1e-12 {
+	if z, err := n.Partition(); err != nil {
+		t.Fatal(err)
+	} else if math.Abs(z-(1+w1+w2+w*w1*w2)) > 1e-12 {
 		t.Errorf("Z = %v", z)
 	}
 	// P(x1 ∨ x2) = (w1 + w2 + w w1 w2) / Z (Section 3.1).
@@ -53,7 +55,9 @@ func TestHardConstraints(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Worlds {}, {x1}, {x2} have weight 1; {x1,x2} has weight 0.
-	if z := n.Partition(); math.Abs(z-3) > 1e-12 {
+	if z, err := n.Partition(); err != nil {
+		t.Fatal(err)
+	} else if math.Abs(z-3) > 1e-12 {
 		t.Errorf("Z = %v", z)
 	}
 	p, err := n.MarginalExact(lineage.And{lineage.Var(1), lineage.Var(2)})
@@ -337,5 +341,20 @@ func BenchmarkExactEnumeration(b *testing.B) {
 		if _, err := n.MarginalExact(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestEnumerationTooLargeRefused: networks beyond the 30-variable
+// enumeration limit return an error instead of panicking.
+func TestEnumerationTooLargeRefused(t *testing.T) {
+	n, err := New(31, []Feature{{F: lineage.Var(31), Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Partition(); err == nil {
+		t.Error("Partition over 31 variables: want error, got nil")
+	}
+	if _, err := n.MarginalExact(lineage.Var(1)); err == nil {
+		t.Error("MarginalExact over 31 variables: want error, got nil")
 	}
 }

@@ -66,7 +66,7 @@ func (ix *Index) buildCC() {
 // table keyed by (query node, cc index) packed into one int64 — no pointer
 // chasing, no map-bucket overhead. qm is the manager holding the query OBDD
 // (the shared manager or a per-call scratch over the same order).
-func (cc *ccLayout) intersect(ix *Index, qm *obdd.Manager, fQ obdd.NodeID, s span) float64 {
+func (cc *ccLayout) intersect(ix *Index, qm *obdd.Manager, fQ obdd.NodeID, s span, g *guard) float64 {
 	entry := cc.idOf[ix.chainRoots[s.first]]
 	stop := ccNone
 	if s.stop != obdd.False {
@@ -76,12 +76,12 @@ func (cc *ccLayout) intersect(ix *Index, qm *obdd.Manager, fQ obdd.NodeID, s spa
 	}
 	memo := newPairMemo(1 << 10)
 	qprob := map[obdd.NodeID]float64{}
-	return cc.rec(ix, qm, fQ, entry, stop, memo, qprob)
+	return cc.rec(ix, qm, fQ, entry, stop, memo, qprob, g)
 }
 
 // rec mirrors Index.intersect in conditioned units (see that method): each
 // w-side edge leaving a block divides by the block's probability.
-func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
+func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64, g *guard) float64 {
 	if q == obdd.False || w == ccFalse {
 		return 0
 	}
@@ -97,18 +97,19 @@ func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int3
 	if r, ok := memo.get(key); ok {
 		return r
 	}
+	g.visit()
 	lq, lw := qm.NodeLevel(q), cc.level[w]
 	var r float64
 	switch {
 	case lq < lw:
 		p := ix.probs[qm.VarAtLevel(int(lq))]
-		r = (1-p)*cc.rec(ix, qm, qm.Lo(q), w, stop, memo, qprob) + p*cc.rec(ix, qm, qm.Hi(q), w, stop, memo, qprob)
+		r = (1-p)*cc.rec(ix, qm, qm.Lo(q), w, stop, memo, qprob, g) + p*cc.rec(ix, qm, qm.Hi(q), w, stop, memo, qprob, g)
 	case lw < lq:
 		p := cc.prob[w]
-		r = (1-p)*cc.wchild(ix, qm, q, cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, qm, q, cc.hi[w], w, stop, memo, qprob)
+		r = (1-p)*cc.wchild(ix, qm, q, cc.lo[w], w, stop, memo, qprob, g) + p*cc.wchild(ix, qm, q, cc.hi[w], w, stop, memo, qprob, g)
 	default:
 		p := cc.prob[w]
-		r = (1-p)*cc.wchild(ix, qm, qm.Lo(q), cc.lo[w], w, stop, memo, qprob) + p*cc.wchild(ix, qm, qm.Hi(q), cc.hi[w], w, stop, memo, qprob)
+		r = (1-p)*cc.wchild(ix, qm, qm.Lo(q), cc.lo[w], w, stop, memo, qprob, g) + p*cc.wchild(ix, qm, qm.Hi(q), cc.hi[w], w, stop, memo, qprob, g)
 	}
 	memo.put(key, r)
 	return r
@@ -116,7 +117,7 @@ func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int3
 
 // wchild evaluates a w-side child edge, dividing by the parent block's
 // probability when the edge leaves the block.
-func (cc *ccLayout) wchild(ix *Index, qm *obdd.Manager, q obdd.NodeID, c, parent, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64) float64 {
+func (cc *ccLayout) wchild(ix *Index, qm *obdd.Manager, q obdd.NodeID, c, parent, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64, g *guard) float64 {
 	if q == obdd.False || c == ccFalse {
 		return 0
 	}
@@ -124,7 +125,7 @@ func (cc *ccLayout) wchild(ix *Index, qm *obdd.Manager, q obdd.NodeID, c, parent
 	if c == ccTrue || c == stop {
 		return ix.qProb(qm, q, qprob) / b
 	}
-	val := cc.rec(ix, qm, q, c, stop, memo, qprob)
+	val := cc.rec(ix, qm, q, c, stop, memo, qprob, g)
 	if cc.block[c] > cc.block[parent] {
 		val /= b
 	}

@@ -3,6 +3,7 @@ package mvindex
 import (
 	"fmt"
 
+	"mvdb/internal/budget"
 	"mvdb/internal/lineage"
 	"mvdb/internal/obdd"
 	"mvdb/internal/ucq"
@@ -28,17 +29,21 @@ func (e Explain) String() string {
 }
 
 // ExplainBoolean evaluates P(Q) like ProbBoolean and reports traversal
-// statistics (always with the entry shortcut, MVIntersect layout).
-func (ix *Index) ExplainBoolean(q ucq.UCQ) (Explain, error) {
+// statistics (always with the entry shortcut, MVIntersect layout). Only the
+// cancellation and budget fields of opts apply; the layout knobs are fixed.
+func (ix *Index) ExplainBoolean(q ucq.UCQ, opts IntersectOptions) (Explain, error) {
 	linQ, err := ucq.EvalBoolean(ix.tr.DB, q)
 	if err != nil {
 		return Explain{}, err
 	}
-	return ix.ExplainLineage(linQ)
+	return ix.ExplainLineage(linQ, opts)
 }
 
 // ExplainLineage is ExplainBoolean for a precomputed lineage.
-func (ix *Index) ExplainLineage(linQ lineage.DNF) (Explain, error) {
+func (ix *Index) ExplainLineage(linQ lineage.DNF, opts IntersectOptions) (Explain, error) {
+	if err := budget.Check(opts.Ctx, opts.Budget.Deadline); err != nil {
+		return Explain{}, err
+	}
 	if ix.pNotWSign == 0 {
 		return Explain{}, fmt.Errorf("mvindex: P0(¬W) = 0 — inconsistent MarkoViews")
 	}
@@ -51,7 +56,15 @@ func (ix *Index) ExplainLineage(linQ lineage.DNF) (Explain, error) {
 		return ex, nil
 	}
 	qm := ix.m.NewScratch()
-	fQ := obdd.BuildDNF(qm, linQ)
+	var fQ obdd.NodeID
+	if opts.bounded() {
+		qm.SetBudget(opts.Ctx, opts.Budget)
+		if err := budget.Catch(func() { fQ = obdd.BuildDNF(qm, linQ) }); err != nil {
+			return Explain{}, err
+		}
+	} else {
+		fQ = obdd.BuildDNF(qm, linQ)
+	}
 	ex.QuerySize = qm.Size(fQ)
 	if fQ == obdd.True {
 		ex.Prob = 1
@@ -68,7 +81,12 @@ func (ix *Index) ExplainLineage(linQ lineage.DNF) (Explain, error) {
 	ex.EntryBlock, ex.LastBlock = s.first, s.last
 	memo := map[[2]obdd.NodeID]float64{}
 	qprob := map[obdd.NodeID]float64{}
-	ex.Prob = ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob)
+	g := newGuard(opts)
+	if err := budget.Catch(func() {
+		ex.Prob = ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob, g)
+	}); err != nil {
+		return Explain{}, err
+	}
 	ex.PairsVisited = len(memo)
 	return ex, nil
 }
@@ -78,12 +96,15 @@ func (ix *Index) ExplainLineage(linQ lineage.DNF) (Explain, error) {
 // the paper's motivating use case — reading off the corrected likelihood of
 // an inferred fact (an advisor edge, an affiliation) after the MarkoViews
 // reweight it.
-func (ix *Index) TupleMarginal(v int) (float64, error) {
+// Only the cancellation and budget fields of opts apply; the traversal is
+// always cache-conscious.
+func (ix *Index) TupleMarginal(v int, opts IntersectOptions) (float64, error) {
 	if ix.m.Level(v) < 0 {
 		return 0, fmt.Errorf("mvindex: variable %d not in the index order", v)
 	}
+	opts.CacheConscious = true
 	qm := ix.m.NewScratch()
-	return ix.intersectOn(qm, qm.Var(v), IntersectOptions{CacheConscious: true})
+	return ix.intersectOn(qm, qm.Var(v), opts)
 }
 
 // AllTupleMarginals computes the corrected marginal probability of every

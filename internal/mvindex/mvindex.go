@@ -28,13 +28,16 @@
 package mvindex
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mvdb/internal/budget"
 	"mvdb/internal/core"
 	"mvdb/internal/lineage"
 	"mvdb/internal/obdd"
@@ -327,6 +330,59 @@ type IntersectOptions struct {
 	// 0 uses runtime.GOMAXPROCS(0), 1 evaluates answers sequentially, N > 1
 	// uses N workers. Answer order is preserved for every setting.
 	Parallelism int
+	// Ctx, when non-nil, is polled during evaluation — between answers in
+	// Query and periodically inside the intersection recursions — aborting
+	// with an error wrapping budget.ErrCanceled once done.
+	Ctx context.Context
+	// Budget bounds the per-call resources: MaxNodes caps the scratch
+	// query-OBDD allocation, MaxPairs caps the memoized (query node, index
+	// node) pairs one intersection may visit, and Deadline is a wall-clock
+	// cutoff. Violations abort with errors wrapping budget.ErrBudgetExceeded
+	// or budget.ErrCanceled. In Query, MaxNodes/MaxPairs apply per answer
+	// (each answer runs its own intersection); Deadline bounds the whole
+	// call.
+	Budget budget.Budget
+}
+
+// bounded reports whether the options impose any cancellation or budget.
+func (o IntersectOptions) bounded() bool {
+	return o.Ctx != nil || !o.Budget.IsZero()
+}
+
+// guard enforces the pair-visit budget and the periodic cancellation polls
+// of one intersection. A nil guard (unbudgeted call) checks nothing — the
+// hot path stays branch-cheap.
+type guard struct {
+	ctx      context.Context
+	deadline time.Time
+	maxPairs int
+	pairs    int
+}
+
+func newGuard(opts IntersectOptions) *guard {
+	if !opts.bounded() {
+		return nil
+	}
+	return &guard{ctx: opts.Ctx, deadline: opts.Budget.Deadline, maxPairs: opts.Budget.MaxPairs}
+}
+
+// visit records one memoized pair and aborts the traversal via budget.Panic
+// (caught at intersectOn) when the pair budget is exhausted; cancellation
+// and the deadline are polled every 1024 pairs.
+func (g *guard) visit() {
+	if g == nil {
+		return
+	}
+	g.pairs++
+	if g.maxPairs > 0 && g.pairs > g.maxPairs {
+		budget.Panic(budget.Exceeded("mvindex pair", g.maxPairs))
+	}
+	if g.pairs&1023 != 0 {
+		return
+	}
+	if err := budget.Check(g.ctx, g.deadline); err != nil {
+		budget.Panic(err)
+	}
 }
 
 // workers resolves the Parallelism knob to an actual worker count.
@@ -371,7 +427,17 @@ func (ix *Index) IntersectLineage(linQ lineage.DNF, opts IntersectOptions) (floa
 		return 0, nil
 	}
 	qm := ix.m.NewScratch()
-	fQ := obdd.BuildDNF(qm, linQ)
+	var fQ obdd.NodeID
+	if opts.bounded() {
+		// Arm the private scratch manager so query-OBDD synthesis respects
+		// MaxNodes and cancellation; the shared manager stays untouched.
+		qm.SetBudget(opts.Ctx, opts.Budget)
+		if err := budget.Catch(func() { fQ = obdd.BuildDNF(qm, linQ) }); err != nil {
+			return 0, err
+		}
+	} else {
+		fQ = obdd.BuildDNF(qm, linQ)
+	}
 	return ix.intersectOn(qm, fQ, opts)
 }
 
@@ -385,6 +451,9 @@ func (ix *Index) IntersectOBDD(fQ obdd.NodeID, opts IntersectOptions) (float64, 
 
 // intersectOn runs the intersection with the query OBDD living in qm.
 func (ix *Index) intersectOn(qm *obdd.Manager, fQ obdd.NodeID, opts IntersectOptions) (float64, error) {
+	if err := budget.Check(opts.Ctx, opts.Budget.Deadline); err != nil {
+		return 0, err
+	}
 	if ix.pNotWSign == 0 {
 		return 0, fmt.Errorf("mvindex: P0(¬W) = 0 — inconsistent MarkoViews")
 	}
@@ -398,13 +467,19 @@ func (ix *Index) intersectOn(qm *obdd.Manager, fQ obdd.NodeID, opts IntersectOpt
 		// No constraints: P(Q) = P0(ΦQ).
 		return ix.qProb(qm, fQ, map[obdd.NodeID]float64{}), nil
 	}
+	g := newGuard(opts)
 	s := ix.spanFor(qm, fQ, opts)
-	if opts.CacheConscious {
-		return ix.cc.intersect(ix, qm, fQ, s), nil
-	}
-	memo := map[[2]obdd.NodeID]float64{}
-	qprob := map[obdd.NodeID]float64{}
-	return ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob), nil
+	var p float64
+	err := budget.Catch(func() {
+		if opts.CacheConscious {
+			p = ix.cc.intersect(ix, qm, fQ, s, g)
+			return
+		}
+		memo := map[[2]obdd.NodeID]float64{}
+		qprob := map[obdd.NodeID]float64{}
+		p = ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob, g)
+	})
+	return p, err
 }
 
 // intersect is MVIntersect in conditioned units: it returns
@@ -412,7 +487,7 @@ func (ix *Index) intersectOn(qm *obdd.Manager, fQ obdd.NodeID, opts IntersectOpt
 // so the final call at the entry chain root directly yields Theorem 1's
 // ratio — every block division happens as its boundary is crossed, and no
 // unrepresentable global product is ever formed.
-func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
+func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64, g *guard) float64 {
 	if q == obdd.False || w == obdd.False {
 		return 0
 	}
@@ -430,18 +505,19 @@ func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[
 	if r, ok := memo[key]; ok {
 		return r
 	}
+	g.visit()
 	lq, lw := qm.NodeLevel(q), ix.m.NodeLevel(w)
 	var r float64
 	switch {
 	case lq < lw:
 		p := ix.probs[qm.VarAtLevel(int(lq))]
-		r = (1-p)*ix.intersect(qm, qm.Lo(q), w, s, memo, qprob) + p*ix.intersect(qm, qm.Hi(q), w, s, memo, qprob)
+		r = (1-p)*ix.intersect(qm, qm.Lo(q), w, s, memo, qprob, g) + p*ix.intersect(qm, qm.Hi(q), w, s, memo, qprob, g)
 	case lw < lq:
 		p := ix.probs[ix.m.VarAtLevel(int(lw))]
-		r = (1-p)*ix.wchild(qm, q, ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(qm, q, ix.m.Hi(w), wBlock, s, memo, qprob)
+		r = (1-p)*ix.wchild(qm, q, ix.m.Lo(w), wBlock, s, memo, qprob, g) + p*ix.wchild(qm, q, ix.m.Hi(w), wBlock, s, memo, qprob, g)
 	default:
 		p := ix.probs[qm.VarAtLevel(int(lq))]
-		r = (1-p)*ix.wchild(qm, qm.Lo(q), ix.m.Lo(w), wBlock, s, memo, qprob) + p*ix.wchild(qm, qm.Hi(q), ix.m.Hi(w), wBlock, s, memo, qprob)
+		r = (1-p)*ix.wchild(qm, qm.Lo(q), ix.m.Lo(w), wBlock, s, memo, qprob, g) + p*ix.wchild(qm, qm.Hi(q), ix.m.Hi(w), wBlock, s, memo, qprob, g)
 	}
 	memo[key] = r
 	return r
@@ -451,7 +527,7 @@ func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[
 // wBlock (into the next chain root or the True terminal) divides by that
 // block's probability; reaching the span's stop root contributes the bare
 // query probability.
-func (ix *Index) wchild(qm *obdd.Manager, q, c obdd.NodeID, wBlock int, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64) float64 {
+func (ix *Index) wchild(qm *obdd.Manager, q, c obdd.NodeID, wBlock int, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64, g *guard) float64 {
 	if q == obdd.False || c == obdd.False {
 		return 0
 	}
@@ -462,7 +538,7 @@ func (ix *Index) wchild(qm *obdd.Manager, q, c obdd.NodeID, wBlock int, s span, 
 	if c == obdd.True {
 		return ix.qProb(qm, q, qprob) / b
 	}
-	val := ix.intersect(qm, q, c, s, memo, qprob)
+	val := ix.intersect(qm, q, c, s, memo, qprob, g)
 	if ix.blockForLevel(ix.m.NodeLevel(c)) > wBlock {
 		val /= b
 	}
@@ -498,11 +574,17 @@ func (ix *Index) ProbBoolean(q ucq.UCQ, opts IntersectOptions) (float64, error) 
 // per-answer intersections are independent (each builds its query OBDD in a
 // scratch manager), so they fan out across a bounded worker pool sized by
 // opts.Parallelism; answer order is preserved regardless of the setting.
+// With opts.Ctx or a deadline set, cancellation is also checked between
+// answers, so a canceled query stops after the current answer.
 func (ix *Index) Query(q *ucq.Query, opts IntersectOptions) ([]core.Answer, error) {
+	if err := budget.Check(opts.Ctx, opts.Budget.Deadline); err != nil {
+		return nil, err
+	}
 	rows, err := ucq.Eval(ix.tr.DB, q)
 	if err != nil {
 		return nil, err
 	}
+	bounded := opts.bounded()
 	out := make([]core.Answer, len(rows))
 	workers := opts.workers()
 	if workers > len(rows) {
@@ -510,6 +592,11 @@ func (ix *Index) Query(q *ucq.Query, opts IntersectOptions) ([]core.Answer, erro
 	}
 	if workers <= 1 {
 		for i, r := range rows {
+			if bounded {
+				if err := budget.Check(opts.Ctx, opts.Budget.Deadline); err != nil {
+					return nil, err
+				}
+			}
 			p, err := ix.IntersectLineage(r.Lineage, opts)
 			if err != nil {
 				return nil, err
@@ -529,6 +616,12 @@ func (ix *Index) Query(q *ucq.Query, opts IntersectOptions) ([]core.Answer, erro
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(rows) {
 					return
+				}
+				if bounded {
+					if err := budget.Check(opts.Ctx, opts.Budget.Deadline); err != nil {
+						errs[w] = err
+						return
+					}
 				}
 				p, err := ix.IntersectLineage(rows[i].Lineage, opts)
 				if err != nil {

@@ -311,7 +311,7 @@ func TestExplain(t *testing.T) {
 	// A query touching a single block must visit far fewer pairs than the
 	// index has nodes and must enter past block 0.
 	q := ucq.MustParse("Q() :- Adv(30,a)")
-	ex, err := ix.ExplainBoolean(q.UCQ)
+	ex, err := ix.ExplainBoolean(q.UCQ, IntersectOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestExplain(t *testing.T) {
 	}
 	// False query.
 	q = ucq.MustParse("Q() :- Adv(99999,a)")
-	ex, err = ix.ExplainBoolean(q.UCQ)
+	ex, err = ix.ExplainBoolean(q.UCQ, IntersectOptions{})
 	if err != nil || ex.Prob != 0 {
 		t.Errorf("false query explain = %+v, %v", ex, err)
 	}
@@ -348,7 +348,7 @@ func TestTupleMarginal(t *testing.T) {
 	tr, ix := buildIndex(t, m)
 	adv := tr.DB.Relation("Adv")
 	for _, tup := range adv.Tuples {
-		got, err := ix.TupleMarginal(tup.Var)
+		got, err := ix.TupleMarginal(tup.Var, IntersectOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -369,7 +369,7 @@ func TestTupleMarginal(t *testing.T) {
 			t.Errorf("var %d: marginal %v not above prior %v despite w=2.5", tup.Var, got, prior)
 		}
 	}
-	if _, err := ix.TupleMarginal(999999); err == nil {
+	if _, err := ix.TupleMarginal(999999, IntersectOptions{}); err == nil {
 		t.Error("unknown variable accepted")
 	}
 }
@@ -417,7 +417,7 @@ func TestAllTupleMarginals(t *testing.T) {
 		t.Fatalf("len = %d", len(all))
 	}
 	for v := 1; v <= tr.DB.NumVars(); v++ {
-		want, err := ix.TupleMarginal(v)
+		want, err := ix.TupleMarginal(v, IntersectOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -589,7 +589,7 @@ func TestInconsistentViewsErrorThroughIndex(t *testing.T) {
 	if _, err := ix.AllTupleMarginals(); err == nil {
 		t.Error("marginals on inconsistent views: expected error")
 	}
-	if _, err := ix.ExplainBoolean(q.UCQ); err == nil {
+	if _, err := ix.ExplainBoolean(q.UCQ, IntersectOptions{}); err == nil {
 		t.Error("explain on inconsistent views: expected error")
 	}
 }

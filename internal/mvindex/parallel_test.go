@@ -100,7 +100,7 @@ func TestConcurrentIntersectHammer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantM, err := ix.TupleMarginal(1)
+	wantM, err := ix.TupleMarginal(1, IntersectOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,10 +130,10 @@ func TestConcurrentIntersectHammer(t *testing.T) {
 						errs <- errf("Query row %d: %v want %v", i, rows[i].Prob, wantRows[i].Prob)
 					}
 				}
-				if _, err := ix.ExplainLineage(lin); err != nil {
+				if _, err := ix.ExplainLineage(lin, IntersectOptions{}); err != nil {
 					errs <- errf("ExplainLineage: %v", err)
 				}
-				if p, err := ix.TupleMarginal(1); err != nil || p != wantM {
+				if p, err := ix.TupleMarginal(1, IntersectOptions{}); err != nil || p != wantM {
 					errs <- errf("TupleMarginal: p=%v err=%v want %v", p, err, wantM)
 				}
 			}

@@ -1,12 +1,14 @@
 package obdd
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"mvdb/internal/budget"
 	"mvdb/internal/engine"
 	"mvdb/internal/lineage"
 	"mvdb/internal/ucq"
@@ -33,6 +35,28 @@ type CompileOptions struct {
 	// sequential path uses — the resulting OBDD is structurally identical
 	// for every setting.
 	Parallelism int
+	// Ctx, when non-nil, is polled periodically during compilation (at every
+	// separator block boundary and every ~1k node allocations); a done
+	// context aborts the compile with an error wrapping budget.ErrCanceled.
+	Ctx context.Context
+	// Budget bounds the compilation's resources: MaxNodes caps total node
+	// allocation (across the target manager and every parallel worker's
+	// scratch manager) and Deadline is a wall-clock cutoff. Violations abort
+	// with an error wrapping budget.ErrBudgetExceeded (nodes) or
+	// budget.ErrCanceled (deadline). MaxPairs does not apply to compilation.
+	Budget budget.Budget
+
+	// blockHook, when set, runs before each per-separator-value block is
+	// compiled (sequentially or on a worker), receiving the block index; a
+	// non-nil return aborts the compile with that error. Test-only fault
+	// injection: deterministically failing or stalling at the Nth block
+	// exercises cancellation and error paths mid-compile.
+	blockHook func(block int) error
+}
+
+// bounded reports whether compilation must arm the manager.
+func (o CompileOptions) bounded() bool {
+	return o.Ctx != nil || !o.Budget.IsZero()
 }
 
 // workers resolves the Parallelism knob to an actual worker count.
@@ -75,18 +99,34 @@ func Compile(db *engine.Database, u ucq.UCQ, pi Perm, opts CompileOptions) (*Man
 }
 
 // CompileWith compiles into an existing manager, so a query OBDD can share
-// the order (and node store) of a previously compiled view OBDD.
+// the order (and node store) of a previously compiled view OBDD. With a
+// context or budget set, the manager is armed for the duration of the call
+// and disarmed before returning, so a successful compile leaves the manager
+// free for the frozen read path.
 func CompileWith(m *Manager, db *engine.Database, u ucq.UCQ, opts CompileOptions) (NodeID, CompileStats, error) {
 	c := &compiler{m: m, db: db, opts: opts}
-	if opts.FromLineage {
-		lin, err := ucq.EvalBoolean(db, u)
-		if err != nil {
-			return False, c.stats, err
-		}
-		c.stats.LineageFalls++
-		return c.BuildDNF(lin), c.stats, nil
+	if opts.bounded() {
+		m.SetBudget(opts.Ctx, opts.Budget)
+		defer m.SetBudget(nil, budget.Budget{})
 	}
-	f, err := c.ucq(u)
+	var f NodeID
+	var ferr error
+	err := budget.Catch(func() {
+		if opts.FromLineage {
+			lin, lerr := ucq.EvalBoolean(db, u)
+			if lerr != nil {
+				ferr = lerr
+				return
+			}
+			c.stats.LineageFalls++
+			f = c.BuildDNF(lin)
+			return
+		}
+		f, ferr = c.ucq(u)
+	})
+	if err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return False, c.stats, err
 	}
@@ -288,6 +328,9 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 			if len(subs[i].Disjuncts) == 0 {
 				continue
 			}
+			if err := c.blockCheck(i); err != nil {
+				return False, err
+			}
 			block, err := c.ucq(subs[i])
 			if err != nil {
 				return False, err
@@ -333,6 +376,8 @@ func (c *compiler) parallelBlocks(subs []ucq.UCQ, workers int) (NodeID, error) {
 			defer wg.Done()
 			wopts := c.opts
 			wopts.Parallelism = 1 // no nested fan-out inside a worker
+			// The scratch manager inherits the owner's budget arming (shared
+			// allocation counter), so MaxNodes bounds the whole compile.
 			wc := &compiler{m: c.m.NewScratch(), db: c.db, opts: wopts}
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -342,7 +387,19 @@ func (c *compiler) parallelBlocks(subs []ucq.UCQ, workers int) (NodeID, error) {
 				if len(subs[i].Disjuncts) == 0 {
 					continue
 				}
-				root, err := wc.ucq(subs[i])
+				// Budget violations panic out of the recursion; convert them
+				// to errors here — a panic may not escape the goroutine.
+				var root NodeID
+				var cerr error
+				err := budget.Catch(func() {
+					if cerr = wc.blockCheck(i); cerr != nil {
+						return
+					}
+					root, cerr = wc.ucq(subs[i])
+				})
+				if err == nil {
+					err = cerr
+				}
 				results[i] = blockResult{m: wc.m, root: root, err: err}
 				if err != nil {
 					break
@@ -371,6 +428,22 @@ func (c *compiler) parallelBlocks(subs []ucq.UCQ, workers int) (NodeID, error) {
 		acc = c.or2(block, acc)
 	}
 	return acc, nil
+}
+
+// blockCheck runs the per-block cancellation point (and the fault-injection
+// hook) before a separator block is compiled. The nested recursion inside a
+// block only hits the coarser allocation-stride polls, so this is the
+// deterministic cancellation point of the compile loops.
+func (c *compiler) blockCheck(block int) error {
+	if c.opts.blockHook != nil {
+		if err := c.opts.blockHook(block); err != nil {
+			return err
+		}
+	}
+	if !c.opts.bounded() {
+		return nil
+	}
+	return budget.Check(c.opts.Ctx, c.opts.Budget.Deadline)
 }
 
 // groundCQ compiles a conjunct with no variables: a conjunction of tuple

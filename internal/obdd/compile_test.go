@@ -65,7 +65,7 @@ func TestCompileFig3(t *testing.T) {
 		t.Fatal(err)
 	}
 	probs := db.Probs()
-	want := lineage.BruteForceProb(lin, probs)
+	want := bfProb(lin, probs)
 	if got := m.Prob(f, probs); math.Abs(got-want) > 1e-12 {
 		t.Errorf("Prob = %v want %v", got, want)
 	}
@@ -111,7 +111,7 @@ func TestCompileUnionWithSharedRelation(t *testing.T) {
 	}
 	lin, _ := ucq.EvalBoolean(db, q.UCQ)
 	probs := db.Probs()
-	if got, want := m.Prob(f, probs), lineage.BruteForceProb(lin, probs); math.Abs(got-want) > 1e-12 {
+	if got, want := m.Prob(f, probs), bfProb(lin, probs); math.Abs(got-want) > 1e-12 {
 		t.Errorf("Prob = %v want %v", got, want)
 	}
 }
@@ -141,7 +141,7 @@ func TestCompileInversionFallsBack(t *testing.T) {
 	}
 	lin, _ := ucq.EvalBoolean(db, q.UCQ)
 	probs := db.Probs()
-	if got, want := m.Prob(f, probs), lineage.BruteForceProb(lin, probs); math.Abs(got-want) > 1e-9 {
+	if got, want := m.Prob(f, probs), bfProb(lin, probs); math.Abs(got-want) > 1e-9 {
 		t.Errorf("Prob = %v want %v", got, want)
 	}
 }
@@ -167,7 +167,7 @@ func TestCompileSelfJoinV2Shape(t *testing.T) {
 	}
 	lin, _ := ucq.EvalBoolean(db, q.UCQ)
 	probs := db.Probs()
-	if got, want := m.Prob(f, probs), lineage.BruteForceProb(lin, probs); math.Abs(got-want) > 1e-9 {
+	if got, want := m.Prob(f, probs), bfProb(lin, probs); math.Abs(got-want) > 1e-9 {
 		t.Errorf("Prob = %v want %v", got, want)
 	}
 }
@@ -241,7 +241,7 @@ func TestCompileDeterministicAtoms(t *testing.T) {
 	}
 	lin, _ := ucq.EvalBoolean(db, q.UCQ)
 	probs := db.Probs()
-	if got, want := m.Prob(f, probs), lineage.BruteForceProb(lin, probs); math.Abs(got-want) > 1e-12 {
+	if got, want := m.Prob(f, probs), bfProb(lin, probs); math.Abs(got-want) > 1e-12 {
 		t.Errorf("Prob = %v want %v", got, want)
 	}
 }
@@ -286,7 +286,7 @@ func TestCompileRandomQueriesAgainstBruteForce(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := lineage.BruteForceProb(lin, probs)
+			want := bfProb(lin, probs)
 			if got := m.Prob(f, probs); math.Abs(got-want) > 1e-9 {
 				t.Fatalf("trial %d %q: Prob = %v want %v", trial, src, got, want)
 			}
@@ -342,7 +342,7 @@ func TestBuildDNFStandalone(t *testing.T) {
 	d := lineage.DNF{{1, 2}, {3, 4}}
 	f := BuildDNF(m, d)
 	probs := []float64{0, 0.5, 0.5, 0.5, 0.5}
-	want := lineage.BruteForceProb(d, probs)
+	want := bfProb(d, probs)
 	if got := m.Prob(f, probs); math.Abs(got-want) > 1e-12 {
 		t.Errorf("Prob = %v want %v", got, want)
 	}

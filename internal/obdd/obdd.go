@@ -8,9 +8,14 @@
 package obdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
+
+	"mvdb/internal/budget"
 )
 
 // NodeID identifies a node in a Manager. The two terminals have fixed ids.
@@ -66,7 +71,61 @@ type Manager struct {
 
 	levelVar []int         // level -> external variable id
 	varLevel map[int]int32 // external variable id -> level
+
+	lim *limits // nil when the manager is unbudgeted
 }
+
+// limits arms a manager with the resource envelope of one evaluation. The
+// allocation counter is shared (by pointer) with every scratch manager
+// derived while armed, so MaxNodes bounds the total allocation of a
+// parallel compilation, not each worker separately; tick is manager-local,
+// keeping the periodic cancellation poll race-free across workers.
+type limits struct {
+	ctx      context.Context
+	deadline time.Time
+	maxNodes int64
+	nodes    *atomic.Int64
+	tick     int
+}
+
+// note records one node allocation and aborts (via budget.Panic, to be
+// caught at the package entry point) when the node budget is exhausted,
+// polling cancellation and the deadline every stride allocations.
+func (l *limits) note() {
+	n := l.nodes.Add(1)
+	if l.maxNodes > 0 && n > l.maxNodes {
+		budget.Panic(budget.Exceeded("obdd node", int(l.maxNodes)))
+	}
+	l.tick++
+	if l.tick&1023 != 0 {
+		return
+	}
+	if err := budget.Check(l.ctx, l.deadline); err != nil {
+		budget.Panic(err)
+	}
+}
+
+// SetBudget arms (or, with nil context and a zero budget, disarms) the
+// manager: node-creating operations count allocations against b.MaxNodes
+// and periodically poll ctx and b.Deadline, aborting with budget.Panic. The
+// caller must run every node-creating operation on an armed manager under
+// budget.Catch. Scratch managers created while armed inherit the arming and
+// share the allocation counter. Arming is a write operation under the
+// manager's concurrency contract — never call it while other goroutines use
+// the manager.
+func (m *Manager) SetBudget(ctx context.Context, b budget.Budget) {
+	if ctx == nil && b.IsZero() {
+		m.lim = nil
+		return
+	}
+	var ctr atomic.Int64
+	ctr.Store(int64(len(m.nodes)))
+	m.lim = &limits{ctx: ctx, deadline: b.Deadline, maxNodes: int64(b.MaxNodes), nodes: &ctr}
+}
+
+// Budgeted reports whether the manager is currently armed with a budget or
+// cancellation context.
+func (m *Manager) Budgeted() bool { return m.lim != nil }
 
 // NewManager creates a manager whose variable order is the given sequence of
 // external variable ids, first to last.
@@ -96,7 +155,7 @@ func NewManager(order []int) *Manager {
 // frozen shared manager, and how parallel compilation workers get private
 // node stores.
 func (m *Manager) NewScratch() *Manager {
-	return &Manager{
+	s := &Manager{
 		nodes:    []node{{level: terminalLevel}, {level: terminalLevel}},
 		maxLevel: []int32{-1, -1},
 		unique:   make(map[node]NodeID),
@@ -104,6 +163,12 @@ func (m *Manager) NewScratch() *Manager {
 		levelVar: m.levelVar,
 		varLevel: m.varLevel,
 	}
+	if m.lim != nil {
+		// Inherit the arming with a private tick but the shared allocation
+		// counter: the budget bounds the evaluation, not each manager.
+		s.lim = &limits{ctx: m.lim.ctx, deadline: m.lim.deadline, maxNodes: m.lim.maxNodes, nodes: m.lim.nodes}
+	}
+	return s
 }
 
 // SameOrder reports whether two managers use the same variable order.
@@ -219,6 +284,9 @@ func (m *Manager) MkNode(level int32, lo, hi NodeID) NodeID {
 		return id
 	}
 	id := NodeID(len(m.nodes))
+	if m.lim != nil {
+		m.lim.note()
+	}
 	m.nodes = append(m.nodes, n)
 	ml := level
 	if l := m.maxLevel[lo]; l > ml {

@@ -43,7 +43,7 @@ func TestQuickOBDDProbMatchesBruteForce(t *testing.T) {
 	f := func(c dnfCase) bool {
 		m := NewManager(seqOrder(c.NumVars))
 		g := buildFromDNF(m, c.DNF)
-		want := lineage.BruteForceProb(c.DNF, c.Probs)
+		want := bfProb(c.DNF, c.Probs)
 		got := m.Prob(g, c.Probs)
 		return math.Abs(got-want) < 1e-9
 	}

@@ -1,0 +1,307 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvdb/internal/budget"
+	"mvdb/internal/core"
+	"mvdb/internal/engine"
+	"mvdb/internal/mvindex"
+)
+
+func testServerWith(t *testing.T, cfg Config) (*Server, *core.Translation) {
+	t.Helper()
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	db.MustInsert("Adv", 2.0, engine.Int(1), engine.Int(10))
+	db.MustInsert("Adv", 2.0, engine.Int(1), engine.Int(11))
+	db.MustInsert("Adv", 1.0, engine.Int(2), engine.Int(10))
+	m := core.New(db)
+	v, err := core.ParseView("V(s,a,b) :- Adv(s,a), Adv(s,b), a <> b", core.ConstWeight(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Translate(core.TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := mvindex.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWith(ix, cfg), tr
+}
+
+const goodQuery = `{"query": "Q(a) :- Adv(1,a)"}`
+
+func TestOversizedBodyIs413(t *testing.T) {
+	s, _ := testServerWith(t, Config{MaxBodyBytes: 64})
+	big := `{"query": "` + strings.Repeat("x", 200) + `"}`
+	rec, out := do(t, s, "POST", "/query", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d want 413 (body %s)", rec.Code, rec.Body)
+	}
+	if out["reason"] != "body-too-large" {
+		t.Errorf("reason = %v", out["reason"])
+	}
+	// Small bodies still work.
+	rec, _ = do(t, s, "POST", "/query", goodQuery)
+	if rec.Code != http.StatusOK {
+		t.Errorf("small body after oversize: code = %d", rec.Code)
+	}
+}
+
+func TestContentTypeRejected(t *testing.T) {
+	s, _ := testServerWith(t, Config{})
+	req := httptest.NewRequest("POST", "/query", strings.NewReader(goodQuery))
+	req.Header.Set("Content-Type", "text/plain")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("text/plain: code = %d want 400 (body %s)", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "content-type") {
+		t.Errorf("missing reason: %s", rec.Body)
+	}
+	// Explicit JSON (with parameters) is accepted.
+	req = httptest.NewRequest("POST", "/query", strings.NewReader(goodQuery))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("application/json: code = %d (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestQueryTimeoutIs408: an expired per-request timeout comes back as a
+// structured 408 while unbudgeted endpoints on the same server keep serving.
+func TestQueryTimeoutIs408(t *testing.T) {
+	s, _ := testServerWith(t, Config{QueryTimeout: time.Nanosecond})
+	for _, path := range []string{"/query", "/explain"} {
+		rec, out := do(t, s, "POST", path, goodQuery)
+		if rec.Code != http.StatusRequestTimeout {
+			t.Errorf("%s: code = %d want 408 (body %s)", path, rec.Code, rec.Body)
+		}
+		if out["reason"] != "timeout" {
+			t.Errorf("%s: reason = %v", path, out["reason"])
+		}
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/stats"} {
+		rec, _ := do(t, s, "GET", path, "")
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s after timeouts: code = %d", path, rec.Code)
+		}
+	}
+}
+
+// TestBudgetExceededIs503: exhausting the per-request node budget is
+// reported as 503 with reason "budget" and a Retry-After hint.
+func TestBudgetExceededIs503(t *testing.T) {
+	s, _ := testServerWith(t, Config{Budget: budget.Budget{MaxNodes: 1}})
+	rec, out := do(t, s, "POST", "/query", goodQuery)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d want 503 (body %s)", rec.Code, rec.Body)
+	}
+	if out["reason"] != "budget" {
+		t.Errorf("reason = %v", out["reason"])
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("missing Retry-After")
+	}
+}
+
+// TestOverloadSheds503: with MaxInflight=1 and one request parked in the
+// handler, the next evaluation request is shed immediately with 503 +
+// Retry-After, health stays green, and the parked request completes once
+// released.
+func TestOverloadSheds503(t *testing.T) {
+	s, _ := testServerWith(t, Config{MaxInflight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.slow = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	type result struct {
+		code int
+		body string
+	}
+	first := make(chan result, 1)
+	go func() {
+		req := httptest.NewRequest("POST", "/query", strings.NewReader(goodQuery))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		first <- result{rec.Code, rec.Body.String()}
+	}()
+	<-entered
+
+	rec, out := do(t, s, "POST", "/query", goodQuery)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("shed request: code = %d want 503 (body %s)", rec.Code, rec.Body)
+	}
+	if out["reason"] != "overload" {
+		t.Errorf("reason = %v", out["reason"])
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("missing Retry-After")
+	}
+	rec, _ = do(t, s, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz under overload: code = %d", rec.Code)
+	}
+
+	close(release)
+	r := <-first
+	if r.code != http.StatusOK {
+		t.Errorf("parked request: code = %d body %s", r.code, r.body)
+	}
+}
+
+// TestPanicRecovered: a panicking handler yields a 500 and the server keeps
+// serving subsequent requests.
+func TestPanicRecovered(t *testing.T) {
+	var buf bytes.Buffer
+	s, _ := testServerWith(t, Config{Logger: log.New(&buf, "", 0)})
+	fired := false
+	s.slow = func() {
+		if !fired {
+			fired = true
+			panic("injected handler panic")
+		}
+	}
+	rec, _ := do(t, s, "POST", "/query", goodQuery)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: code = %d want 500 (body %s)", rec.Code, rec.Body)
+	}
+	if !strings.Contains(buf.String(), "injected handler panic") {
+		t.Error("panic not logged")
+	}
+	// The process survived: health and real queries still work.
+	rec, _ = do(t, s, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz after panic: code = %d", rec.Code)
+	}
+	rec, _ = do(t, s, "POST", "/query", goodQuery)
+	if rec.Code != http.StatusOK {
+		t.Errorf("query after panic: code = %d (body %s)", rec.Code, rec.Body)
+	}
+}
+
+func TestReadyzDraining(t *testing.T) {
+	s, _ := testServerWith(t, Config{})
+	rec, _ := do(t, s, "GET", "/readyz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz = %d", rec.Code)
+	}
+	s.SetDraining(true)
+	rec, out := do(t, s, "GET", "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz = %d", rec.Code)
+	}
+	if out["reason"] != "draining" {
+		t.Errorf("reason = %v", out["reason"])
+	}
+	// Liveness and in-flight work are unaffected by draining.
+	rec, _ = do(t, s, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz while draining = %d", rec.Code)
+	}
+	rec, _ = do(t, s, "POST", "/query", goodQuery)
+	if rec.Code != http.StatusOK {
+		t.Errorf("query while draining = %d", rec.Code)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight runs the server on a real listener,
+// parks a request in the handler, starts http.Server.Shutdown, and asserts
+// the parked request still completes with 200 and Shutdown returns cleanly —
+// the contract behind mvdbd's SIGTERM handling.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	s, _ := testServerWith(t, Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.slow = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	type result struct {
+		code int
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		res, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(goodQuery))
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		defer res.Body.Close()
+		inflight <- result{res.StatusCode, nil}
+	}()
+	<-entered
+
+	s.SetDraining(true)
+	res, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d", res.StatusCode)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- ts.Config.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the parked request, not kill it.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case r := <-inflight:
+		if r.err != nil {
+			t.Fatalf("in-flight request failed during shutdown: %v", r.err)
+		}
+		if r.code != http.StatusOK {
+			t.Errorf("in-flight request: code = %d want 200", r.code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+// TestWriteJSONLogsEncodeError: an unencodable value (Inf) is logged, not
+// silently discarded.
+func TestWriteJSONLogsEncodeError(t *testing.T) {
+	var buf bytes.Buffer
+	s, _ := testServerWith(t, Config{Logger: log.New(&buf, "", 0)})
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, math.Inf(1))
+	if !strings.Contains(buf.String(), "writing response") {
+		t.Errorf("encode error not logged: %q", buf.String())
+	}
+}

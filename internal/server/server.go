@@ -5,52 +5,201 @@
 //	POST /explain    {"query": "Q() :- Advisor(104,a)"}         → traversal statistics
 //	GET  /marginal?var=17                                        → one tuple's corrected marginal
 //	GET  /stats                                                  → index and dataset statistics
-//	GET  /healthz                                                → liveness
+//	GET  /healthz                                                → liveness (always 200 while the process serves)
+//	GET  /readyz                                                 → readiness (503 while draining)
 //
 // Requests run concurrently: the index is frozen after Build and its read
 // path (Query, ExplainBoolean, TupleMarginal) builds query OBDDs in per-call
 // scratch managers, so handlers only take a read lock. The write lock exists
 // for operations that would mutate the index (none are exposed over HTTP
-// today); malformed or unsafe query input is reported as 400 with a JSON
-// error body, while genuine evaluation failures are 422.
+// today).
+//
+// The server degrades gracefully under pressure (Config): evaluation
+// handlers run under a per-request timeout and resource budget — a deadline
+// or cancellation maps to 408, an exhausted node/pair budget to 503 — an
+// admission semaphore sheds load with 503 + Retry-After when too many
+// queries are in flight, request bodies are size-capped (413) and must be
+// JSON (400), and a panicking handler is recovered to a 500 without taking
+// the process down. All error responses are structured JSON:
+// {"error": "...", "reason": "timeout"|"budget"|"overload"|...}.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"mime"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mvdb/internal/budget"
 	"mvdb/internal/core"
 	"mvdb/internal/mvindex"
 	"mvdb/internal/ucq"
 )
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0.
+const DefaultMaxBodyBytes = 1 << 20 // 1 MiB
+
+// Config bounds the server's resource use. The zero value imposes no
+// timeout, no admission cap, the default body cap, and no budget.
+type Config struct {
+	// QueryTimeout bounds each evaluation request; expiry returns 408.
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrently evaluating requests; excess requests
+	// are shed immediately with 503 + Retry-After. 0 means unlimited.
+	MaxInflight int
+	// MaxBodyBytes caps POST bodies; larger bodies return 413.
+	// 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Budget bounds each evaluation's resources (OBDD nodes, intersection
+	// pairs); a violation returns 503 with reason "budget".
+	Budget budget.Budget
+	// Logger receives panic reports and write failures; nil means
+	// log.Default().
+	Logger *log.Logger
+}
 
 // Server wraps an MV-index as an http.Handler.
 type Server struct {
 	mu  sync.RWMutex // read-held by handlers; write-held only by index mutation
 	ix  *mvindex.Index
 	mux *http.ServeMux
+	cfg Config
+	sem chan struct{} // admission semaphore; nil = unlimited
+
+	draining atomic.Bool
+
+	// slow, when non-nil, runs inside each admitted evaluation handler
+	// before the evaluation — a test-only hook to hold requests in flight
+	// for the overload and drain tests.
+	slow func()
 }
 
-// New builds a server around a compiled index.
-func New(ix *mvindex.Index) *Server {
-	s := &Server{ix: ix, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /explain", s.handleExplain)
-	s.mux.HandleFunc("GET /marginal", s.handleMarginal)
+// New builds a server around a compiled index with a zero Config.
+func New(ix *mvindex.Index) *Server { return NewWith(ix, Config{}) }
+
+// NewWith builds a server around a compiled index with explicit bounds.
+func NewWith(ix *mvindex.Index, cfg Config) *Server {
+	s := &Server{ix: ix, mux: http.NewServeMux(), cfg: cfg}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	s.mux.HandleFunc("POST /query", s.admit(s.handleQuery))
+	s.mux.HandleFunc("POST /explain", s.admit(s.handleExplain))
+	s.mux.HandleFunc("GET /marginal", s.admit(s.handleMarginal))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetDraining flips the readiness state: while draining, /readyz returns 503
+// so load balancers stop routing new traffic, while in-flight and even new
+// requests still complete. Flip it before http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// ServeHTTP implements http.Handler. A panic in any handler is recovered,
+// logged with a stack, and answered with a 500 — one broken request must not
+// take the process down.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote headers this is a
+			// no-op on the status line.
+			s.httpError(w, http.StatusInternalServerError, "", "internal error")
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// admit applies the admission semaphore: requests beyond MaxInflight are
+// shed immediately rather than queued, so latency stays bounded.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				s.httpError(w, http.StatusServiceUnavailable, "overload",
+					"too many in-flight queries (max %d); retry later", s.cfg.MaxInflight)
+				return
+			}
+		}
+		if s.slow != nil {
+			s.slow()
+		}
+		h(w, r)
+	}
+}
+
+// bounds derives the evaluation context and budget of one request.
+func (s *Server) bounds(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.QueryTimeout)
+	}
+	return ctx, func() {}
+}
+
+func (s *Server) maxBody() int64 {
+	if s.cfg.MaxBodyBytes > 0 {
+		return s.cfg.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// decodeJSON enforces the content type and body cap, then decodes into dst.
+// On failure it has already written the error response and returns false.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			s.httpError(w, http.StatusBadRequest, "content-type",
+				"unsupported content type %q: use application/json", ct)
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "body-too-large",
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		s.httpError(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// evalError maps an evaluation failure to the degradation ladder: deadline
+// and cancellation → 408, exhausted resource budget → 503, anything else →
+// 422 (the query was well-formed but not evaluable).
+func (s *Server) evalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, budget.ErrCanceled):
+		s.httpError(w, http.StatusRequestTimeout, "timeout", "%v", err)
+	case errors.Is(err, budget.ErrBudgetExceeded):
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable, "budget", "%v", err)
+	default:
+		s.httpError(w, http.StatusUnprocessableEntity, "", "evaluation failed: %v", err)
+	}
+}
 
 type queryRequest struct {
 	Query string `json:"query"`
@@ -70,16 +219,21 @@ type queryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	q, err := ucq.Parse(req.Query)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		s.httpError(w, http.StatusBadRequest, "", "bad query: %v", err)
 		return
 	}
-	opts := mvindex.IntersectOptions{CacheConscious: req.CacheConscious == nil || *req.CacheConscious}
+	ctx, cancel := s.bounds(r)
+	defer cancel()
+	opts := mvindex.IntersectOptions{
+		CacheConscious: req.CacheConscious == nil || *req.CacheConscious,
+		Ctx:            ctx,
+		Budget:         s.cfg.Budget,
+	}
 	t0 := time.Now()
 	s.mu.RLock()
 	verr := s.ix.Translation().ValidateQuery(q.UCQ)
@@ -89,11 +243,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	if verr != nil {
-		httpError(w, http.StatusBadRequest, "bad query: %v", verr)
+		s.httpError(w, http.StatusBadRequest, "", "bad query: %v", verr)
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+		s.evalError(w, err)
 		return
 	}
 	resp := queryResponse{Millis: float64(time.Since(t0).Microseconds()) / 1000, Answers: []answerJSON{}}
@@ -108,37 +262,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Answers = append(resp.Answers, answerJSON{Head: head, Prob: a.Prob})
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	q, err := ucq.Parse(req.Query)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		s.httpError(w, http.StatusBadRequest, "", "bad query: %v", err)
 		return
 	}
+	ctx, cancel := s.bounds(r)
+	defer cancel()
 	b := ucq.UCQ{Disjuncts: q.Disjuncts}
 	s.mu.RLock()
 	verr := s.ix.Translation().ValidateQuery(b)
 	var ex mvindex.Explain
 	if verr == nil {
-		ex, err = s.ix.ExplainBoolean(b)
+		ex, err = s.ix.ExplainBoolean(b, mvindex.IntersectOptions{Ctx: ctx, Budget: s.cfg.Budget})
 	}
 	s.mu.RUnlock()
 	if verr != nil {
-		httpError(w, http.StatusBadRequest, "bad query: %v", verr)
+		s.httpError(w, http.StatusBadRequest, "", "bad query: %v", verr)
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "evaluation failed: %v", err)
+		s.evalError(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"query_nodes":   ex.QuerySize,
 		"query_vars":    ex.QueryVars,
 		"entry_block":   ex.EntryBlock,
@@ -155,11 +310,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	v, err := strconv.Atoi(r.URL.Query().Get("var"))
 	if err != nil || v < 1 {
-		httpError(w, http.StatusBadRequest, "var must be a positive integer")
+		s.httpError(w, http.StatusBadRequest, "", "var must be a positive integer")
 		return
 	}
+	ctx, cancel := s.bounds(r)
+	defer cancel()
 	s.mu.RLock()
-	p, err := s.ix.TupleMarginal(v)
+	p, err := s.ix.TupleMarginal(v, mvindex.IntersectOptions{Ctx: ctx, Budget: s.cfg.Budget})
 	var rel string
 	var vals []any
 	if err == nil {
@@ -177,10 +334,14 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		if errors.Is(err, budget.ErrCanceled) || errors.Is(err, budget.ErrBudgetExceeded) {
+			s.evalError(w, err)
+			return
+		}
+		s.httpError(w, http.StatusNotFound, "", "%v", err)
 		return
 	}
-	writeJSON(w, map[string]any{"var": v, "relation": rel, "tuple": vals, "marginal": p})
+	s.writeJSON(w, map[string]any{"var": v, "relation": rel, "tuple": vals, "marginal": p})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -208,21 +369,47 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"pruned_indep":   tr.PrunedIndependent,
 		"has_constraint": tr.HasConstraints(),
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.httpError(w, http.StatusServiceUnavailable, "draining", "shutting down")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) logf(format string, args ...any) {
+	l := s.cfg.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf(format, args...)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		// Too late for a status change; nothing sensible to do.
-		_ = err
+		// The status line is already out; log so the failure is visible.
+		s.logf("server: writing response: %v", err)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpError writes the structured error body. reason is a stable
+// machine-readable label ("timeout", "budget", "overload", ...); empty means
+// a generic client or evaluation error.
+func (s *Server) httpError(w http.ResponseWriter, code int, reason, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if reason != "" {
+		body["reason"] = reason
+	}
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.logf("server: writing error response: %v", err)
+	}
 }

@@ -252,7 +252,7 @@ func TestEvalLineageProbability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := lineage.BruteForceProb(lin, db.Probs())
+	got := bfProb(lin, db.Probs())
 	// P = 1 - (1 - p(X1)(1-(1-p)(1-p)))^2 ... compute directly:
 	pBlock := 0.5 * (1 - 0.25) // X_i and at least one Y
 	want := 1 - (1-pBlock)*(1-pBlock)
@@ -357,4 +357,14 @@ func TestBoundsForEdgeCases(t *testing.T) {
 	if err != nil || len(rows) != 1 || rows[0].Head[0].Str != "eve" {
 		t.Errorf("string compare: %+v, %v", rows, err)
 	}
+}
+
+// bfProb wraps the error-returning brute-force evaluator for test fixtures
+// known to stay within the 30-variable limit.
+func bfProb(d lineage.DNF, probs []float64) float64 {
+	p, err := lineage.BruteForceProb(d, probs)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }

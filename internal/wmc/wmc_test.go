@@ -31,7 +31,7 @@ func TestProbAgainstBruteForce(t *testing.T) {
 		for i := 1; i <= nv; i++ {
 			probs[i] = rng.Float64()
 		}
-		want := lineage.BruteForceProb(d, probs)
+		want := bfProb(d, probs)
 		got := Prob(d, probs)
 		if math.Abs(got-want) > 1e-9 {
 			t.Fatalf("trial %d: %v vs %v on %v", trial, got, want, d)
@@ -48,7 +48,7 @@ func TestProbNegativeProbabilities(t *testing.T) {
 		for i := 1; i <= nv; i++ {
 			probs[i] = rng.Float64()*3 - 1.5
 		}
-		want := lineage.BruteForceProb(d, probs)
+		want := bfProb(d, probs)
 		got := Prob(d, probs)
 		if math.Abs(got-want) > 1e-9 {
 			t.Fatalf("trial %d: %v vs %v", trial, got, want)
@@ -188,7 +188,7 @@ func (quickDNF) Generate(rng *rand.Rand, size int) reflect.Value {
 // probability vectors, negative entries included.
 func TestQuickWMCAgainstBruteForce(t *testing.T) {
 	f := func(c quickDNF) bool {
-		want := lineage.BruteForceProb(c.D, c.Probs)
+		want := bfProb(c.D, c.Probs)
 		got := Prob(c.D, c.Probs)
 		return math.Abs(got-want) < 1e-9
 	}
@@ -202,7 +202,7 @@ func TestQuickWMCAgainstBruteForce(t *testing.T) {
 func TestQuickWMCNegationLaw(t *testing.T) {
 	f := func(c quickDNF) bool {
 		p := Prob(c.D, c.Probs)
-		notP := lineage.BruteForceProbFormula(lineage.Not{F: lineage.FromDNF(c.D)}, c.Probs)
+		notP := bfProbF(lineage.Not{F: lineage.FromDNF(c.D)}, c.Probs)
 		return math.Abs(p+notP-1) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -290,4 +290,22 @@ func TestDissociationBoundsOnH0(t *testing.T) {
 	if hi-lo <= 0 {
 		t.Errorf("H0 bounds degenerate: [%v, %v]", lo, hi)
 	}
+}
+
+// bfProb and bfProbF wrap the error-returning brute-force evaluators for
+// test fixtures known to stay within the 30-variable limit.
+func bfProb(d lineage.DNF, probs []float64) float64 {
+	p, err := lineage.BruteForceProb(d, probs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func bfProbF(f lineage.Formula, probs []float64) float64 {
+	p, err := lineage.BruteForceProbFormula(f, probs)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
