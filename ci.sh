@@ -13,6 +13,11 @@ go vet ./...
 go test -timeout 5m ./...
 go test -race -timeout 10m ./...
 
+# Benchmark smoke: one iteration of the parallel-compile benchmark catches
+# kernel or scheduler regressions that only manifest under the bench harness
+# (it asserts sequential/parallel result identity on every run).
+go test -run=NONE -bench=BenchmarkParallelCompile -benchtime=1x -timeout 5m .
+
 # All four binaries must build.
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT

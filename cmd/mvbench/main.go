@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,8 +37,39 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "workers for parallel compile/query experiments (0 = GOMAXPROCS, 1 = sequential)")
 		parJSON     = flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON report (empty to skip)")
 		timeout     = flag.Duration("timeout", 0, "watchdog per experiment (0 = none); a stuck experiment aborts the run with exit 1")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mvbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		// LIFO: StopCPUProfile must flush before the file closes.
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	opts := bench.Defaults()
 	if *quick {

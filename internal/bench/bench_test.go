@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -205,7 +206,13 @@ func TestParallelExperiment(t *testing.T) {
 	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
 		t.Fatalf("bad JSON report: %v", err)
 	}
-	if rep.Workers != 4 || len(rep.Rows) != 2 || rep.Rows[0].Domain != 200 || rep.Rows[0].SeqCompileSec <= 0 {
+	// benchWorkers clamps the requested parallelism to GOMAXPROCS: extra
+	// workers on a saturated host measure overhead, not speedup.
+	wantWorkers := 4
+	if m := runtime.GOMAXPROCS(0); wantWorkers > m {
+		wantWorkers = m
+	}
+	if rep.Workers != wantWorkers || len(rep.Rows) != 2 || rep.Rows[0].Domain != 200 || rep.Rows[0].SeqCompileSec <= 0 {
 		t.Errorf("report = %+v", rep)
 	}
 }

@@ -47,7 +47,7 @@ func FromSnapshot(s DatabaseSnapshot) (*Database, error) {
 		}
 		rel.Tuples = rs.Tuples
 		for i, t := range rs.Tuples {
-			rel.byKey[TupleKey(t.Vals)] = i
+			rel.byKey[string(AppendTupleKey(nil, t.Vals))] = i
 		}
 	}
 	db.vars = s.Vars

@@ -62,7 +62,11 @@ type Relation struct {
 	sorted  map[int][]int    // column -> tuple indexes ordered by value
 }
 
-type colIndex map[string][]int
+// colIndex keys directly on Value — a comparable struct — instead of a
+// materialized string key: MatchingIndexes sits on the compiler's and
+// evaluator's innermost loops, and the string key was one allocation per
+// probe.
+type colIndex map[Value][]int
 
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return len(r.Cols) }
@@ -71,8 +75,12 @@ func (r *Relation) Arity() int { return len(r.Cols) }
 func (r *Relation) Len() int { return len(r.Tuples) }
 
 // Lookup returns the index of the tuple with exactly the given values, or -1.
+// The key is built in a stack buffer, so a miss or hit costs no allocation
+// for tuples of ordinary size (the compiler probes once per ground atom per
+// chain block).
 func (r *Relation) Lookup(vals []Value) int {
-	if i, ok := r.byKey[TupleKey(vals)]; ok {
+	var buf [96]byte
+	if i, ok := r.byKey[string(AppendTupleKey(buf[:0], vals))]; ok {
 		return i
 	}
 	return -1
@@ -86,7 +94,7 @@ func (r *Relation) insert(t Tuple) (int, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	key := TupleKey(t.Vals)
+	key := string(AppendTupleKey(nil, t.Vals))
 	if _, dup := r.byKey[key]; dup {
 		return 0, fmt.Errorf("engine: duplicate tuple %s%s", r.Name, FormatTuple(t.Vals))
 	}
@@ -94,7 +102,7 @@ func (r *Relation) insert(t Tuple) (int, error) {
 	r.Tuples = append(r.Tuples, t)
 	r.byKey[key] = idx
 	for col, ix := range r.indexes {
-		k := t.Vals[col].Key()
+		k := t.Vals[col]
 		ix[k] = append(ix[k], idx)
 	}
 	// Sorted indexes are rebuilt lazily; SortedIndex detects staleness by
@@ -119,7 +127,7 @@ func (r *Relation) EnsureIndex(col int) colIndex {
 	}
 	ix = make(colIndex)
 	for i, t := range r.Tuples {
-		k := t.Vals[col].Key()
+		k := t.Vals[col]
 		ix[k] = append(ix[k], i)
 	}
 	r.indexes[col] = ix
@@ -129,7 +137,7 @@ func (r *Relation) EnsureIndex(col int) colIndex {
 // MatchingIndexes returns the indexes of tuples whose value in column col
 // equals v, using (and building if needed) the hash index.
 func (r *Relation) MatchingIndexes(col int, v Value) []int {
-	return r.EnsureIndex(col)[v.Key()]
+	return r.EnsureIndex(col)[v]
 }
 
 // ColIndex returns the position of the named column, or -1.

@@ -84,6 +84,30 @@ func TupleKey(vals []Value) string {
 	return b.String()
 }
 
+// AppendValueKey appends a collision-free encoding of v to b. Unlike Key it
+// builds no intermediate strings, so hot paths can key maps with
+// string(buf) lookups that the compiler keeps allocation-free.
+func AppendValueKey(b []byte, v Value) []byte {
+	if v.IsStr {
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.Str)), 10)
+		b = append(b, ':')
+		return append(b, v.Str...)
+	}
+	b = append(b, 'i')
+	b = strconv.AppendInt(b, v.Int, 10)
+	return append(b, ';')
+}
+
+// AppendTupleKey appends a collision-free encoding of the tuple to b; the
+// per-value delimiters make concatenation unambiguous.
+func AppendTupleKey(b []byte, vals []Value) []byte {
+	for _, v := range vals {
+		b = AppendValueKey(b, v)
+	}
+	return b
+}
+
 // FormatTuple renders a tuple as "(v1, v2, ...)".
 func FormatTuple(vals []Value) string {
 	parts := make([]string, len(vals))

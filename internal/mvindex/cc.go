@@ -1,6 +1,8 @@
 package mvindex
 
 import (
+	"sync"
+
 	"mvdb/internal/obdd"
 )
 
@@ -16,7 +18,10 @@ type ccLayout struct {
 	probUnder []float64 // block-local
 	block     []int32   // chain block of the node
 
-	idOf map[obdd.NodeID]int32 // manager node -> cc index
+	// idOf maps a manager node id to its cc index, dense over the node
+	// store; -1 marks nodes not reachable from the index root (and the two
+	// terminals, which flatten to ccFalse/ccTrue instead).
+	idOf []int32
 }
 
 // Terminal encodings in the flattened arrays; ccNone marks "no stop node".
@@ -28,7 +33,10 @@ const (
 
 // buildCC flattens the ¬W OBDD in DFS preorder.
 func (ix *Index) buildCC() {
-	cc := &ccLayout{idOf: map[obdd.NodeID]int32{}}
+	cc := &ccLayout{idOf: make([]int32, ix.m.NumNodes())}
+	for i := range cc.idOf {
+		cc.idOf[i] = -1
+	}
 	var dfs func(u obdd.NodeID) int32
 	dfs = func(u obdd.NodeID) int32 {
 		switch u {
@@ -37,7 +45,7 @@ func (ix *Index) buildCC() {
 		case obdd.True:
 			return ccTrue
 		}
-		if id, ok := cc.idOf[u]; ok {
+		if id := cc.idOf[u]; id >= 0 {
 			return id
 		}
 		id := int32(len(cc.level))
@@ -66,22 +74,20 @@ func (ix *Index) buildCC() {
 // table keyed by (query node, cc index) packed into one int64 — no pointer
 // chasing, no map-bucket overhead. qm is the manager holding the query OBDD
 // (the shared manager or a per-call scratch over the same order).
-func (cc *ccLayout) intersect(ix *Index, qm *obdd.Manager, fQ obdd.NodeID, s span, g *guard) float64 {
+func (cc *ccLayout) intersect(ix *Index, qm *obdd.Manager, fQ obdd.NodeID, s span, memo, qprob *pairMemo, g *guard) float64 {
 	entry := cc.idOf[ix.chainRoots[s.first]]
 	stop := ccNone
 	if s.stop != obdd.False {
-		if id, ok := cc.idOf[s.stop]; ok {
+		if id := cc.idOf[s.stop]; id >= 0 {
 			stop = id
 		}
 	}
-	memo := newPairMemo(1 << 10)
-	qprob := map[obdd.NodeID]float64{}
 	return cc.rec(ix, qm, fQ, entry, stop, memo, qprob, g)
 }
 
 // rec mirrors Index.intersect in conditioned units (see that method): each
 // w-side edge leaving a block divides by the block's probability.
-func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64, g *guard) float64 {
+func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int32, memo, qprob *pairMemo, g *guard) float64 {
 	if q == obdd.False || w == ccFalse {
 		return 0
 	}
@@ -117,7 +123,7 @@ func (cc *ccLayout) rec(ix *Index, qm *obdd.Manager, q obdd.NodeID, w, stop int3
 
 // wchild evaluates a w-side child edge, dividing by the parent block's
 // probability when the edge leaves the block.
-func (cc *ccLayout) wchild(ix *Index, qm *obdd.Manager, q obdd.NodeID, c, parent, stop int32, memo *pairMemo, qprob map[obdd.NodeID]float64, g *guard) float64 {
+func (cc *ccLayout) wchild(ix *Index, qm *obdd.Manager, q obdd.NodeID, c, parent, stop int32, memo, qprob *pairMemo, g *guard) float64 {
 	if q == obdd.False || c == ccFalse {
 		return 0
 	}
@@ -198,3 +204,28 @@ func (m *pairMemo) grow() {
 		}
 	}
 }
+
+// reset empties the memo for reuse. A memo that ballooned on one huge query
+// is shrunk back rather than pinned in the pool forever.
+func (m *pairMemo) reset() {
+	if len(m.keys) > 1<<16 {
+		m.keys = make([]int64, 1<<10)
+		m.vals = make([]float64, 1<<10)
+		m.mask = uint64(len(m.keys) - 1)
+	} else {
+		clear(m.keys)
+	}
+	m.n = 0
+}
+
+// Per-query scratch memos are pooled: a steady stream of MVIntersect calls
+// reuses the same two tables instead of allocating maps per query.
+var pairMemoPool = sync.Pool{New: func() any { return newPairMemo(1 << 10) }}
+
+func getPairMemo() *pairMemo {
+	m := pairMemoPool.Get().(*pairMemo)
+	m.reset()
+	return m
+}
+
+func putPairMemo(m *pairMemo) { pairMemoPool.Put(m) }

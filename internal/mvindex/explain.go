@@ -73,21 +73,23 @@ func (ix *Index) ExplainLineage(linQ lineage.DNF, opts IntersectOptions) (Explai
 	if span := int(qm.MaxLevel(fQ)) - int(qm.NodeLevel(fQ)) + 1; span > 0 {
 		ex.SpanLevels = span
 	}
+	qprob := getPairMemo()
+	defer putPairMemo(qprob)
 	if ix.m.IsTerminal(ix.root) {
-		ex.Prob = ix.qProb(qm, fQ, map[obdd.NodeID]float64{})
+		ex.Prob = ix.qProb(qm, fQ, qprob)
 		return ex, nil
 	}
 	s := ix.spanFor(qm, fQ, IntersectOptions{})
 	ex.EntryBlock, ex.LastBlock = s.first, s.last
-	memo := map[[2]obdd.NodeID]float64{}
-	qprob := map[obdd.NodeID]float64{}
+	memo := getPairMemo()
+	defer putPairMemo(memo)
 	g := newGuard(opts)
 	if err := budget.Catch(func() {
 		ex.Prob = ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob, g)
 	}); err != nil {
 		return Explain{}, err
 	}
-	ex.PairsVisited = len(memo)
+	ex.PairsVisited = memo.n
 	return ex, nil
 }
 

@@ -60,9 +60,12 @@ type Index struct {
 	root  obdd.NodeID // OBDD of ¬W
 	probs []float64
 
-	// Block-local augmentation (see the package comment).
-	probUnder map[obdd.NodeID]float64 // local: next chain root counts as True
-	reach     map[obdd.NodeID]float64 // local: restarts at 1 at each chain root
+	// Block-local augmentation (see the package comment), indexed densely by
+	// NodeID (probUnder[False]=0, probUnder[True]=1; entries of unreachable
+	// nodes are unused).
+	probUnder []float64 // local: next chain root counts as True
+	reach     []float64 // local: restarts at 1 at each chain root
+	size      int       // internal nodes reachable from root
 
 	// Chain blocks: convergence points every accepting path passes, in
 	// level order. chainRoots[0] is the root.
@@ -101,8 +104,10 @@ func Build(tr *core.Translation) (*Index, error) {
 
 // rebuild computes every derived structure from (m, root, probs).
 func (ix *Index) rebuild() {
-	ix.probUnder = map[obdd.NodeID]float64{obdd.False: 0, obdd.True: 1}
-	ix.reach = map[obdd.NodeID]float64{}
+	ix.probUnder = make([]float64, ix.m.NumNodes())
+	ix.probUnder[obdd.True] = 1
+	ix.reach = make([]float64, ix.m.NumNodes())
+	ix.size = 0
 	ix.varNodes = map[int][]obdd.NodeID{}
 	ix.varBlock = map[int]int{}
 	ix.chainRoots, ix.chainLevels, ix.blockProb = nil, nil, nil
@@ -146,6 +151,7 @@ func (ix *Index) augment() {
 		return
 	}
 	nodes := ix.m.Reachable(ix.root)
+	ix.size = len(nodes)
 	// Level order: parents before children (edges strictly increase levels).
 	sort.Slice(nodes, func(i, j int) bool {
 		return ix.m.NodeLevel(nodes[i]) < ix.m.NodeLevel(nodes[j])
@@ -162,11 +168,9 @@ func (ix *Index) augment() {
 	for k, r := range ix.chainRoots {
 		ix.blockProb[k] = ix.probUnder[r]
 	}
-	// Local reachability, top-down: restarts at 1 on every chain root;
-	// edges that cross into the next chain root are dropped.
-	for _, u := range nodes {
-		ix.reach[u] = 0
-	}
+	// Local reachability, top-down: restarts at 1 on every chain root
+	// (reach is freshly zeroed by rebuild); edges that cross into the next
+	// chain root are dropped.
 	for _, r := range ix.chainRoots {
 		ix.reach[r] = 1
 	}
@@ -218,7 +222,8 @@ func (ix *Index) findChain() {
 		id    obdd.NodeID
 		level int32
 	}
-	pendingSet := map[obdd.NodeID]bool{ix.root: true}
+	inPending := make([]bool, ix.m.NumNodes())
+	inPending[ix.root] = true
 	pending := []qnode{{ix.root, ix.m.NodeLevel(ix.root)}}
 	pop := func() obdd.NodeID {
 		best := 0
@@ -230,7 +235,7 @@ func (ix *Index) findChain() {
 		u := pending[best].id
 		pending[best] = pending[len(pending)-1]
 		pending = pending[:len(pending)-1]
-		delete(pendingSet, u)
+		inPending[u] = false
 		return u
 	}
 	// A singleton frontier proves convergence only while no processed node
@@ -249,8 +254,8 @@ func (ix *Index) findChain() {
 			if c == obdd.True {
 				seenTrueEdge = true
 			}
-			if !ix.m.IsTerminal(c) && !pendingSet[c] {
-				pendingSet[c] = true
+			if !ix.m.IsTerminal(c) && !inPending[c] {
+				inPending[c] = true
 				pending = append(pending, qnode{c, ix.m.NodeLevel(c)})
 			}
 		}
@@ -289,7 +294,7 @@ func (ix *Index) LogProbNotW() (logAbs float64, sign int) {
 }
 
 // Size returns the number of internal nodes of the ¬W OBDD.
-func (ix *Index) Size() int { return len(ix.reach) }
+func (ix *Index) Size() int { return ix.size }
 
 // Width returns the OBDD width.
 func (ix *Index) Width() int { return ix.m.Width(ix.root) }
@@ -463,20 +468,22 @@ func (ix *Index) intersectOn(qm *obdd.Manager, fQ obdd.NodeID, opts IntersectOpt
 	if fQ == obdd.True {
 		return 1, nil
 	}
+	qprob := getPairMemo()
+	defer putPairMemo(qprob)
 	if ix.m.IsTerminal(ix.root) {
 		// No constraints: P(Q) = P0(ΦQ).
-		return ix.qProb(qm, fQ, map[obdd.NodeID]float64{}), nil
+		return ix.qProb(qm, fQ, qprob), nil
 	}
 	g := newGuard(opts)
 	s := ix.spanFor(qm, fQ, opts)
+	memo := getPairMemo()
+	defer putPairMemo(memo)
 	var p float64
 	err := budget.Catch(func() {
 		if opts.CacheConscious {
-			p = ix.cc.intersect(ix, qm, fQ, s, g)
+			p = ix.cc.intersect(ix, qm, fQ, s, memo, qprob, g)
 			return
 		}
-		memo := map[[2]obdd.NodeID]float64{}
-		qprob := map[obdd.NodeID]float64{}
 		p = ix.intersect(qm, fQ, ix.chainRoots[s.first], s, memo, qprob, g)
 	})
 	return p, err
@@ -487,7 +494,7 @@ func (ix *Index) intersectOn(qm *obdd.Manager, fQ obdd.NodeID, opts IntersectOpt
 // so the final call at the entry chain root directly yields Theorem 1's
 // ratio — every block division happens as its boundary is crossed, and no
 // unrepresentable global product is ever formed.
-func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64, g *guard) float64 {
+func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo, qprob *pairMemo, g *guard) float64 {
 	if q == obdd.False || w == obdd.False {
 		return 0
 	}
@@ -501,8 +508,9 @@ func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[
 		// suffix blocks cancel.
 		return ix.probUnder[w] / ix.blockProb[wBlock]
 	}
-	key := [2]obdd.NodeID{q, w}
-	if r, ok := memo[key]; ok {
+	// Both q and w are internal (≥ 2), so the packed key is never zero.
+	key := int64(q)<<32 | int64(uint32(w))
+	if r, ok := memo.get(key); ok {
 		return r
 	}
 	g.visit()
@@ -519,7 +527,7 @@ func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[
 		p := ix.probs[qm.VarAtLevel(int(lq))]
 		r = (1-p)*ix.wchild(qm, qm.Lo(q), ix.m.Lo(w), wBlock, s, memo, qprob, g) + p*ix.wchild(qm, qm.Hi(q), ix.m.Hi(w), wBlock, s, memo, qprob, g)
 	}
-	memo[key] = r
+	memo.put(key, r)
 	return r
 }
 
@@ -527,7 +535,7 @@ func (ix *Index) intersect(qm *obdd.Manager, q, w obdd.NodeID, s span, memo map[
 // wBlock (into the next chain root or the True terminal) divides by that
 // block's probability; reaching the span's stop root contributes the bare
 // query probability.
-func (ix *Index) wchild(qm *obdd.Manager, q, c obdd.NodeID, wBlock int, s span, memo map[[2]obdd.NodeID]float64, qprob map[obdd.NodeID]float64, g *guard) float64 {
+func (ix *Index) wchild(qm *obdd.Manager, q, c obdd.NodeID, wBlock int, s span, memo, qprob *pairMemo, g *guard) float64 {
 	if q == obdd.False || c == obdd.False {
 		return 0
 	}
@@ -545,19 +553,22 @@ func (ix *Index) wchild(qm *obdd.Manager, q, c obdd.NodeID, wBlock int, s span, 
 	return val
 }
 
-func (ix *Index) qProb(qm *obdd.Manager, q obdd.NodeID, memo map[obdd.NodeID]float64) float64 {
+// qProb computes P0 of a query sub-OBDD; the memo is a pairMemo keyed by the
+// bare node id (internal ids are ≥ 2, so keys never collide with the empty
+// sentinel 0).
+func (ix *Index) qProb(qm *obdd.Manager, q obdd.NodeID, memo *pairMemo) float64 {
 	switch q {
 	case obdd.False:
 		return 0
 	case obdd.True:
 		return 1
 	}
-	if p, ok := memo[q]; ok {
+	if p, ok := memo.get(int64(q)); ok {
 		return p
 	}
 	pv := ix.probs[qm.VarAtLevel(int(qm.NodeLevel(q)))]
 	r := (1-pv)*ix.qProb(qm, qm.Lo(q), memo) + pv*ix.qProb(qm, qm.Hi(q), memo)
-	memo[q] = r
+	memo.put(int64(q), r)
 	return r
 }
 

@@ -203,3 +203,32 @@ func TestScratchInheritsBudget(t *testing.T) {
 		t.Errorf("disarmed manager still budgeted: %v", err)
 	}
 }
+
+// TestSetBudgetRearmKeepsSharedCounter: re-arming an armed manager must keep
+// the allocation counter shared with scratch managers created under the old
+// budget, so their allocations still count toward the new limit.
+func TestSetBudgetRearmKeepsSharedCounter(t *testing.T) {
+	m := NewManager([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	m.SetBudget(nil, budget.Budget{MaxNodes: 1 << 20})
+	s := m.NewScratch()
+	for v := 1; v <= 5; v++ {
+		s.Var(v)
+	}
+	// Tighten the budget below what the scratch has already consumed plus a
+	// few more allocations. A re-arm that resets the counter would let the
+	// main manager allocate 4 fresh nodes without tripping.
+	m.SetBudget(nil, budget.Budget{MaxNodes: 8})
+	err := budget.Catch(func() {
+		for v := 1; v <= 4; v++ {
+			m.Var(v)
+		}
+	})
+	if !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Errorf("re-armed budget ignored scratch allocations: err = %v, want ErrBudgetExceeded", err)
+	}
+	// And the scratch armed under the old budget keeps counting too: its own
+	// limit still reflects the budget it inherited, but the counter is live.
+	if got := m.lim.nodes.Load(); got <= 7 {
+		t.Errorf("shared counter = %d, want > 7 (scratch + main allocations)", got)
+	}
+}

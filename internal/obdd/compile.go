@@ -35,6 +35,12 @@ type CompileOptions struct {
 	// sequential path uses — the resulting OBDD is structurally identical
 	// for every setting.
 	Parallelism int
+	// ApplyCacheSize caps the manager's direct-mapped apply/computed cache
+	// at this many entries (rounded up to a power of two); 0 keeps
+	// DefaultApplyCacheSize. A larger cache makes Apply-heavy compilations
+	// (FromLineage, DisableConcat) recompute less at ~12 bytes per entry;
+	// it never changes the resulting OBDD. See DESIGN.md §8.
+	ApplyCacheSize int
 	// Ctx, when non-nil, is polled periodically during compilation (at every
 	// separator block boundary and every ~1k node allocations); a done
 	// context aborts the compile with an error wrapping budget.ErrCanceled.
@@ -104,6 +110,9 @@ func Compile(db *engine.Database, u ucq.UCQ, pi Perm, opts CompileOptions) (*Man
 // and disarmed before returning, so a successful compile leaves the manager
 // free for the frozen read path.
 func CompileWith(m *Manager, db *engine.Database, u ucq.UCQ, opts CompileOptions) (NodeID, CompileStats, error) {
+	if opts.ApplyCacheSize > 0 {
+		m.SetApplyCacheMax(opts.ApplyCacheSize)
+	}
 	c := &compiler{m: m, db: db, opts: opts}
 	if opts.bounded() {
 		m.SetBudget(opts.Ctx, opts.Budget)
@@ -140,6 +149,11 @@ type compiler struct {
 	stats CompileStats
 
 	colCache map[string][]engine.Value // "rel\x00pos" -> distinct column values
+
+	// groundCQ scratch; each parallel worker owns a private compiler, so the
+	// buffers are never shared across goroutines.
+	valsBuf   []engine.Value
+	levelsBuf []int32
 }
 
 // columnValues returns the distinct values of one relation column, cached
@@ -153,13 +167,12 @@ func (c *compiler) columnValues(rel *engine.Relation, pos int) []engine.Value {
 	if vs, ok := c.colCache[key]; ok {
 		return vs
 	}
-	seen := map[string]engine.Value{}
+	seen := make(map[engine.Value]bool, len(rel.Tuples))
 	for _, t := range rel.Tuples {
-		v := t.Vals[pos]
-		seen[v.Key()] = v
+		seen[t.Vals[pos]] = true
 	}
 	out := make([]engine.Value, 0, len(seen))
-	for _, v := range seen {
+	for v := range seen {
 		out = append(out, v)
 	}
 	c.colCache[key] = out
@@ -183,7 +196,7 @@ func (c *compiler) ucq(u ucq.UCQ) (NodeID, error) {
 	// Split off ground disjuncts (R4 at the union level).
 	var ground, open []ucq.CQ
 	for _, d := range u.Disjuncts {
-		if len(d.Vars()) == 0 {
+		if !d.HasVars() {
 			ground = append(ground, d)
 		} else {
 			open = append(open, d)
@@ -258,7 +271,7 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 			a   ucq.Atom
 		}
 		probes := make([]probe, len(u.Disjuncts))
-		domainSet := map[string]engine.Value{}
+		domainSet := map[engine.Value]bool{}
 		for di, d := range u.Disjuncts {
 			for _, a := range d.Atoms {
 				if skip(a) {
@@ -275,7 +288,7 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 				// No probe (cannot happen for true separators); fall back to
 				// the full column scans of every kept atom.
 				for _, v := range c.separatorDomain(ucq.UCQ{Disjuncts: []ucq.CQ{d}}, sep) {
-					domainSet[v.Key()] = v
+					domainSet[v] = true
 				}
 				continue
 			}
@@ -287,39 +300,49 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 					continue
 				}
 				for _, ti := range p.rel.MatchingIndexes(i, t.Const) {
-					v := p.rel.Tuples[ti].Vals[p.pos]
-					domainSet[v.Key()] = v
+					domainSet[p.rel.Tuples[ti].Vals[p.pos]] = true
 				}
 				narrowed = true
 				break
 			}
 			if !narrowed {
 				for _, v := range c.columnValues(p.rel, p.pos) {
-					domainSet[v.Key()] = v
+					domainSet[v] = true
 				}
 			}
 		}
 		domain := make([]engine.Value, 0, len(domainSet))
-		for _, v := range domainSet {
+		for v := range domainSet {
 			domain = append(domain, v)
 		}
 		sort.Slice(domain, func(i, j int) bool { return domain[i].Compare(domain[j]) < 0 })
 
 		// Instantiate the per-separator-value sub-queries up front; each is
 		// an independent block of the chain (Prop. 1).
+		// est[i] estimates block i's compilation work as the number of
+		// tuples carrying separator value i (per disjunct, through the
+		// probe's hash index) — the block's sub-OBDD and recursion are both
+		// roughly linear in it. The parallel scheduler uses the estimates to
+		// hand workers balanced batches.
 		subs := make([]ucq.UCQ, len(domain))
+		est := make([]int, len(domain))
 		for i, v := range domain {
 			for di, d := range u.Disjuncts {
-				if p := probes[di]; p.rel != nil &&
-					len(p.rel.MatchingIndexes(p.pos, v)) == 0 {
-					continue // this disjunct is false at this value
+				if p := probes[di]; p.rel != nil {
+					n := len(p.rel.MatchingIndexes(p.pos, v))
+					if n == 0 {
+						continue // this disjunct is false at this value
+					}
+					est[i] += n
+				} else {
+					est[i] += len(d.Atoms)
 				}
 				subs[i].Disjuncts = append(subs[i].Disjuncts,
-					d.Subst(map[string]engine.Value{sep.PerDisjunct[di]: v}))
+					d.Subst1(sep.PerDisjunct[di], v))
 			}
 		}
 		if workers := c.opts.workers(); workers > 1 && len(subs) > 1 {
-			return c.parallelBlocks(subs, workers)
+			return c.parallelBlocks(subs, est, workers)
 		}
 		// Iterate in descending order so each new block is prepended to the
 		// accumulated chain: OrDisjoint(block, acc) costs O(|block|).
@@ -350,21 +373,62 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 	return c.BuildDNF(lin), nil
 }
 
+// blockChunks partitions block indexes into batches for the parallel
+// workers, using the per-block work estimates: blocks are ordered by
+// decreasing estimated work (longest-processing-time-first — an oversized
+// block is started immediately instead of landing on an already-busy worker
+// at the tail of the schedule) and greedily grouped into chunks of roughly
+// total/(4·workers) estimated work each, so many tiny blocks cost one
+// scheduling round-trip instead of one per block. Empty blocks are dropped.
+func blockChunks(subs []ucq.UCQ, est []int, workers int) [][]int {
+	order := make([]int, 0, len(subs))
+	total := 0
+	for i := range subs {
+		if len(subs[i].Disjuncts) == 0 {
+			continue
+		}
+		order = append(order, i)
+		total += est[i]
+	}
+	sort.SliceStable(order, func(a, b int) bool { return est[order[a]] > est[order[b]] })
+	target := total/(4*workers) + 1
+	var chunks [][]int
+	var cur []int
+	acc := 0
+	for _, i := range order {
+		cur = append(cur, i)
+		acc += est[i]
+		if acc >= target {
+			chunks = append(chunks, cur)
+			cur, acc = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
 // parallelBlocks compiles the per-separator-value blocks concurrently. Each
 // worker owns a scratch Manager (hash-consing tables are not shared across
-// goroutines) and a private compiler, and pulls block indexes from a shared
-// atomic counter. The owner then imports every finished block into the main
-// manager and concatenates the chain in the same descending order as the
-// sequential path, so the resulting OBDD — and the compile statistics — are
-// identical to Parallelism: 1.
-func (c *compiler) parallelBlocks(subs []ucq.UCQ, workers int) (NodeID, error) {
+// goroutines) and a private compiler, and pulls work-balanced chunks of
+// blocks (see blockChunks) from a shared atomic counter. The owner then
+// imports every finished block into the main manager and concatenates the
+// chain in the same descending order as the sequential path, so the
+// resulting OBDD — and the compile statistics — are identical to
+// Parallelism: 1.
+func (c *compiler) parallelBlocks(subs []ucq.UCQ, est []int, workers int) (NodeID, error) {
 	type blockResult struct {
 		m    *Manager
 		root NodeID
 		err  error
 	}
-	if workers > len(subs) {
-		workers = len(subs)
+	chunks := blockChunks(subs, est, workers)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers < 1 {
+		return False, nil // every block was empty
 	}
 	results := make([]blockResult, len(subs))
 	workerStats := make([]CompileStats, workers)
@@ -379,30 +443,31 @@ func (c *compiler) parallelBlocks(subs []ucq.UCQ, workers int) (NodeID, error) {
 			// The scratch manager inherits the owner's budget arming (shared
 			// allocation counter), so MaxNodes bounds the whole compile.
 			wc := &compiler{m: c.m.NewScratch(), db: c.db, opts: wopts}
+		pull:
 			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(subs) {
+				ci := int(atomic.AddInt64(&next, 1)) - 1
+				if ci >= len(chunks) {
 					break
 				}
-				if len(subs[i].Disjuncts) == 0 {
-					continue
-				}
-				// Budget violations panic out of the recursion; convert them
-				// to errors here — a panic may not escape the goroutine.
-				var root NodeID
-				var cerr error
-				err := budget.Catch(func() {
-					if cerr = wc.blockCheck(i); cerr != nil {
-						return
+				for _, i := range chunks[ci] {
+					// Budget violations panic out of the recursion; convert
+					// them to errors here — a panic may not escape the
+					// goroutine.
+					var root NodeID
+					var cerr error
+					err := budget.Catch(func() {
+						if cerr = wc.blockCheck(i); cerr != nil {
+							return
+						}
+						root, cerr = wc.ucq(subs[i])
+					})
+					if err == nil {
+						err = cerr
 					}
-					root, cerr = wc.ucq(subs[i])
-				})
-				if err == nil {
-					err = cerr
-				}
-				results[i] = blockResult{m: wc.m, root: root, err: err}
-				if err != nil {
-					break
+					results[i] = blockResult{m: wc.m, root: root, err: err}
+					if err != nil {
+						break pull
+					}
 				}
 			}
 			workerStats[w] = wc.stats
@@ -457,7 +522,7 @@ func (c *compiler) groundCQ(d ucq.CQ) (NodeID, error) {
 			return False, nil
 		}
 	}
-	var levels []int32
+	levels := c.levelsBuf[:0]
 	for _, a := range d.Atoms {
 		rel := c.db.Relation(a.Rel)
 		if rel == nil {
@@ -466,7 +531,10 @@ func (c *compiler) groundCQ(d ucq.CQ) (NodeID, error) {
 		if len(a.Args) != rel.Arity() {
 			return False, fmt.Errorf("obdd: relation %s has arity %d, atom has %d arguments", a.Rel, rel.Arity(), len(a.Args))
 		}
-		vals := make([]engine.Value, len(a.Args))
+		if cap(c.valsBuf) < len(a.Args) {
+			c.valsBuf = make([]engine.Value, len(a.Args))
+		}
+		vals := c.valsBuf[:len(a.Args)]
 		for i, t := range a.Args {
 			vals[i] = t.Const
 		}
@@ -490,6 +558,7 @@ func (c *compiler) groundCQ(d ucq.CQ) (NodeID, error) {
 		l := c.m.varLevel[t.Var]
 		levels = append(levels, l)
 	}
+	c.levelsBuf = levels // keep any growth for the next ground conjunct
 	if len(levels) == 0 {
 		return True, nil
 	}
@@ -583,19 +652,18 @@ func (c *compiler) and2(f, g NodeID) NodeID {
 // values found at the separator's position in every relation it touches,
 // sorted ascending (the order Π groups tuples by these values).
 func (c *compiler) separatorDomain(u ucq.UCQ, sep ucq.Separator) []engine.Value {
-	seen := map[string]engine.Value{}
+	seen := map[engine.Value]bool{}
 	for rel, pos := range sep.RelPos {
 		r := c.db.Relation(rel)
 		if r == nil {
 			continue
 		}
 		for _, t := range r.Tuples {
-			v := t.Vals[pos]
-			seen[v.Key()] = v
+			seen[t.Vals[pos]] = true
 		}
 	}
 	out := make([]engine.Value, 0, len(seen))
-	for _, v := range seen {
+	for v := range seen {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
@@ -611,12 +679,21 @@ func atomHasVarAt(a ucq.Atom, v string, pos int) bool {
 // simplifyCQ drops fully-constant predicates, returning ok=false when one is
 // violated (the conjunct is unsatisfiable).
 func simplifyCQ(d ucq.CQ) (ucq.CQ, bool) {
-	out := ucq.CQ{Atoms: d.Atoms}
+	constant := false
 	for _, p := range d.Preds {
 		if p.L.IsConst && p.R.IsConst {
 			if !p.EvalBound(p.L.Const, p.R.Const) {
 				return ucq.CQ{}, false
 			}
+			constant = true
+		}
+	}
+	if !constant {
+		return d, true // nothing to drop; share the predicate slice
+	}
+	out := ucq.CQ{Atoms: d.Atoms, Preds: make([]ucq.Pred, 0, len(d.Preds)-1)}
+	for _, p := range d.Preds {
+		if p.L.IsConst && p.R.IsConst {
 			continue
 		}
 		out.Preds = append(out.Preds, p)

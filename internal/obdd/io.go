@@ -46,20 +46,12 @@ func Restore(s Snapshot) (*Manager, error) {
 		if n.Lo == n.Hi {
 			return nil, fmt.Errorf("obdd: snapshot node %d is not reduced", i)
 		}
-		nn := node{level: n.Level, lo: NodeID(n.Lo), hi: NodeID(n.Hi)}
-		if _, dup := m.unique[nn]; dup {
+		lo, hi := NodeID(n.Lo), NodeID(n.Hi)
+		if id, slot := m.unique.lookup(m.nodes, n.Level, lo, hi); id != 0 {
 			return nil, fmt.Errorf("obdd: snapshot node %d duplicates an earlier node", i)
+		} else if got := m.addNode(n.Level, lo, hi, slot); got != NodeID(i) {
+			return nil, fmt.Errorf("obdd: snapshot node %d restored as %d", i, got)
 		}
-		ml := n.Level
-		if l := m.maxLevel[n.Lo]; l > ml {
-			ml = l
-		}
-		if l := m.maxLevel[n.Hi]; l > ml {
-			ml = l
-		}
-		m.nodes = append(m.nodes, nn)
-		m.maxLevel = append(m.maxLevel, ml)
-		m.unique[nn] = NodeID(i)
 	}
 	return m, nil
 }

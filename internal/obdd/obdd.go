@@ -5,6 +5,12 @@
 // possibly-negative tuple probabilities (Section 3.3), the tuple order Π
 // induced by attribute permutations π, and the ConOBDD compilation algorithm
 // (rules R1-R4).
+//
+// The memory layer follows CUDD's design (see DESIGN.md §8): the unique
+// table is a custom open-addressing hash set of NodeIDs (table.go), Apply
+// results go through a fixed-size direct-mapped computed cache (cache.go),
+// and every per-call traversal memo is a dense NodeID-indexed scratch array
+// borrowed from a sync.Pool instead of a freshly allocated Go map.
 package obdd
 
 import (
@@ -19,6 +25,8 @@ import (
 )
 
 // NodeID identifies a node in a Manager. The two terminals have fixed ids.
+// Ids are dense: node k is the k-th allocation, so slices indexed by NodeID
+// serve as O(1) annotation maps.
 type NodeID int32
 
 // Terminal nodes.
@@ -42,11 +50,6 @@ const (
 	opOr
 )
 
-type applyKey struct {
-	op   opKind
-	f, g NodeID
-}
-
 // Manager owns the node store for a fixed variable order. Nodes are reduced
 // (no node with lo == hi) and hash-consed (structurally unique), so two
 // equivalent formulas compile to the same NodeID.
@@ -66,8 +69,8 @@ type applyKey struct {
 type Manager struct {
 	nodes    []node
 	maxLevel []int32 // highest (deepest) variable level in each node's cone
-	unique   map[node]NodeID
-	cache    map[applyKey]NodeID
+	unique   uniqueTable
+	cache    applyCache
 
 	levelVar []int         // level -> external variable id
 	varLevel map[int]int32 // external variable id -> level
@@ -110,17 +113,24 @@ func (l *limits) note() {
 // and periodically poll ctx and b.Deadline, aborting with budget.Panic. The
 // caller must run every node-creating operation on an armed manager under
 // budget.Catch. Scratch managers created while armed inherit the arming and
-// share the allocation counter. Arming is a write operation under the
-// manager's concurrency contract — never call it while other goroutines use
-// the manager.
+// share the allocation counter. Re-arming an already-armed manager keeps
+// the shared counter — outstanding scratch managers continue to count into
+// the same budget instead of an orphaned one. Arming is a write operation
+// under the manager's concurrency contract — never call it while other
+// goroutines use the manager.
 func (m *Manager) SetBudget(ctx context.Context, b budget.Budget) {
 	if ctx == nil && b.IsZero() {
 		m.lim = nil
 		return
 	}
-	var ctr atomic.Int64
-	ctr.Store(int64(len(m.nodes)))
-	m.lim = &limits{ctx: ctx, deadline: b.Deadline, maxNodes: int64(b.MaxNodes), nodes: &ctr}
+	var ctr *atomic.Int64
+	if m.lim != nil {
+		ctr = m.lim.nodes
+	} else {
+		ctr = new(atomic.Int64)
+		ctr.Store(int64(len(m.nodes)))
+	}
+	m.lim = &limits{ctx: ctx, deadline: b.Deadline, maxNodes: int64(b.MaxNodes), nodes: ctr}
 }
 
 // Budgeted reports whether the manager is currently armed with a budget or
@@ -128,16 +138,17 @@ func (m *Manager) SetBudget(ctx context.Context, b budget.Budget) {
 func (m *Manager) Budgeted() bool { return m.lim != nil }
 
 // NewManager creates a manager whose variable order is the given sequence of
-// external variable ids, first to last.
+// external variable ids, first to last. The apply cache is capped at
+// DefaultApplyCacheSize; tune it with SetApplyCacheMax.
 func NewManager(order []int) *Manager {
 	m := &Manager{
 		nodes:    []node{{level: terminalLevel}, {level: terminalLevel}},
 		maxLevel: []int32{-1, -1},
-		unique:   make(map[node]NodeID),
-		cache:    make(map[applyKey]NodeID),
 		levelVar: append([]int(nil), order...),
 		varLevel: make(map[int]int32, len(order)),
 	}
+	m.unique.init()
+	m.cache.init(DefaultApplyCacheSize)
 	for i, v := range order {
 		if _, dup := m.varLevel[v]; dup {
 			panic(fmt.Sprintf("obdd: variable %d appears twice in order", v))
@@ -147,22 +158,49 @@ func NewManager(order []int) *Manager {
 	return m
 }
 
+// SetApplyCacheMax caps the direct-mapped apply/computed cache at the given
+// number of entries (rounded up to a power of two, 12 bytes each). The cache
+// starts small and doubles as the node store grows, so the cap only binds on
+// large compilations; it never affects results, only how much Apply
+// recomputes. Shrinking below the current size drops existing entries.
+func (m *Manager) SetApplyCacheMax(entries int) {
+	if entries < applyCacheInitial {
+		entries = applyCacheInitial
+	}
+	max := ceilPow2(entries)
+	if max < len(m.cache.keys) {
+		m.cache.init(max)
+		return
+	}
+	m.cache.max = max
+}
+
+// ApplyCacheSize returns the current number of apply-cache slots (a power of
+// two between its initial size and the configured maximum).
+func (m *Manager) ApplyCacheSize() int { return len(m.cache.keys) }
+
+// ResetApplyCache drops every computed-table entry in place (a memclr).
+// Entries never become stale — the node store is append-only — so this is
+// purely a memory/benchmark knob.
+func (m *Manager) ResetApplyCache() { m.cache.reset() }
+
 // NewScratch creates an empty manager over the same variable order as m,
 // sharing m's (immutable) order tables instead of copying them — the cost is
 // a few small allocations, independent of the number of variables. The
 // scratch manager has its own node store, so building nodes in it never
 // mutates m: this is how concurrent queries compile their OBDDs against a
 // frozen shared manager, and how parallel compilation workers get private
-// node stores.
+// node stores. The scratch manager inherits m's apply-cache cap, but its
+// cache starts at the initial size and only grows with its own node store.
 func (m *Manager) NewScratch() *Manager {
 	s := &Manager{
 		nodes:    []node{{level: terminalLevel}, {level: terminalLevel}},
 		maxLevel: []int32{-1, -1},
-		unique:   make(map[node]NodeID),
-		cache:    make(map[applyKey]NodeID),
 		levelVar: m.levelVar,
 		varLevel: m.varLevel,
 	}
+	s.unique.init()
+	s.cache.init(m.cache.max)
 	if m.lim != nil {
 		// Inherit the arming with a private tick but the shared allocation
 		// counter: the budget bounds the evaluation, not each manager.
@@ -202,15 +240,19 @@ func (m *Manager) Import(src *Manager, f NodeID) NodeID {
 	if !m.SameOrder(src) {
 		panic("obdd: Import between managers with different variable orders")
 	}
-	memo := map[NodeID]NodeID{False: False, True: True}
+	memo := getNodeMemo(len(src.nodes), true)
+	defer putNodeMemo(memo)
 	var rec func(NodeID) NodeID
 	rec = func(x NodeID) NodeID {
-		if r, ok := memo[x]; ok {
+		if x <= True {
+			return x
+		}
+		if r, ok := memo.get(x); ok {
 			return r
 		}
 		n := src.nodes[x]
 		r := m.MkNode(n.level, rec(n.lo), rec(n.hi))
-		memo[x] = r
+		memo.put(x, r)
 		return r
 	}
 	return rec(f)
@@ -279,15 +321,21 @@ func (m *Manager) MkNode(level int32, lo, hi NodeID) NodeID {
 	if lo == hi {
 		return lo
 	}
-	n := node{level: level, lo: lo, hi: hi}
-	if id, ok := m.unique[n]; ok {
+	id, slot := m.unique.lookup(m.nodes, level, lo, hi)
+	if id != 0 {
 		return id
 	}
+	return m.addNode(level, lo, hi, slot)
+}
+
+// addNode appends a new node and registers it in the unique table at the
+// slot returned by a failed lookup.
+func (m *Manager) addNode(level int32, lo, hi NodeID, slot uint64) NodeID {
 	id := NodeID(len(m.nodes))
 	if m.lim != nil {
 		m.lim.note()
 	}
-	m.nodes = append(m.nodes, n)
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	ml := level
 	if l := m.maxLevel[lo]; l > ml {
 		ml = l
@@ -296,7 +344,8 @@ func (m *Manager) MkNode(level int32, lo, hi NodeID) NodeID {
 		ml = l
 	}
 	m.maxLevel = append(m.maxLevel, ml)
-	m.unique[n] = id
+	m.unique.insert(m.nodes, id, slot)
+	m.cache.maybeGrow(len(m.nodes))
 	return id
 }
 
@@ -349,8 +398,8 @@ func (m *Manager) apply(op opKind, f, g NodeID) NodeID {
 	if f > g { // canonicalize: both ops are commutative
 		f, g = g, f
 	}
-	key := applyKey{op, f, g}
-	if r, ok := m.cache[key]; ok {
+	key := applyKeyPack(op, f, g)
+	if r, ok := m.cache.get(key); ok {
 		return r
 	}
 	nf, ng := m.nodes[f], m.nodes[g]
@@ -365,29 +414,30 @@ func (m *Manager) apply(op opKind, f, g NodeID) NodeID {
 		level, fl, fh, gl, gh = nf.level, nf.lo, nf.hi, ng.lo, ng.hi
 	}
 	r := m.MkNode(level, m.apply(op, fl, gl), m.apply(op, fh, gh))
-	m.cache[key] = r
+	m.cache.put(key, r)
 	return r
 }
 
 // Not returns the complement of f by swapping terminals.
 func (m *Manager) Not(f NodeID) NodeID {
-	memo := make(map[NodeID]NodeID)
+	memo := getNodeMemo(len(m.nodes), false)
+	defer putNodeMemo(memo)
 	return m.not(f, memo)
 }
 
-func (m *Manager) not(f NodeID, memo map[NodeID]NodeID) NodeID {
+func (m *Manager) not(f NodeID, memo *nodeMemo) NodeID {
 	switch f {
 	case False:
 		return True
 	case True:
 		return False
 	}
-	if r, ok := memo[f]; ok {
+	if r, ok := memo.get(f); ok {
 		return r
 	}
 	n := m.nodes[f]
 	r := m.MkNode(n.level, m.not(n.lo, memo), m.not(n.hi, memo))
-	memo[f] = r
+	memo.put(f, r)
 	return r
 }
 
@@ -414,7 +464,8 @@ func (m *Manager) OrDisjoint(f, g NodeID) NodeID {
 	if !m.CanConcat(f, g) {
 		panic("obdd: OrDisjoint on overlapping spans")
 	}
-	memo := make(map[NodeID]NodeID)
+	memo := getNodeMemo(len(m.nodes), false)
+	defer putNodeMemo(memo)
 	return m.replaceSink(f, False, g, memo)
 }
 
@@ -430,48 +481,51 @@ func (m *Manager) AndDisjoint(f, g NodeID) NodeID {
 	if !m.CanConcat(f, g) {
 		panic("obdd: AndDisjoint on overlapping spans")
 	}
-	memo := make(map[NodeID]NodeID)
+	memo := getNodeMemo(len(m.nodes), false)
+	defer putNodeMemo(memo)
 	return m.replaceSink(f, True, g, memo)
 }
 
-func (m *Manager) replaceSink(f, sink, g NodeID, memo map[NodeID]NodeID) NodeID {
+func (m *Manager) replaceSink(f, sink, g NodeID, memo *nodeMemo) NodeID {
 	if f == sink {
 		return g
 	}
 	if m.IsTerminal(f) {
 		return f
 	}
-	if r, ok := memo[f]; ok {
+	if r, ok := memo.get(f); ok {
 		return r
 	}
 	n := m.nodes[f]
 	r := m.MkNode(n.level, m.replaceSink(n.lo, sink, g, memo), m.replaceSink(n.hi, sink, g, memo))
-	memo[f] = r
+	memo.put(f, r)
 	return r
 }
 
 // Prob computes P(f) where probs is indexed by external variable id. It is
 // the bottom-up Shannon expansion of Section 4.1 and is valid verbatim for
-// negative probabilities.
+// negative probabilities. Safe for concurrent callers on a frozen manager —
+// the memo is per-call scratch from a pool.
 func (m *Manager) Prob(f NodeID, probs []float64) float64 {
-	memo := make(map[NodeID]float64)
+	memo := getFloatMemo(len(m.nodes), false)
+	defer putFloatMemo(memo)
 	return m.prob(f, probs, memo)
 }
 
-func (m *Manager) prob(f NodeID, probs []float64, memo map[NodeID]float64) float64 {
+func (m *Manager) prob(f NodeID, probs []float64, memo *floatMemo) float64 {
 	switch f {
 	case False:
 		return 0
 	case True:
 		return 1
 	}
-	if p, ok := memo[f]; ok {
+	if p, ok := memo.get(f); ok {
 		return p
 	}
 	n := m.nodes[f]
 	p := probs[m.levelVar[n.level]]
 	r := (1-p)*m.prob(n.lo, probs, memo) + p*m.prob(n.hi, probs, memo)
-	memo[f] = r
+	memo.put(f, r)
 	return r
 }
 
@@ -490,14 +544,18 @@ func (m *Manager) Eval(f NodeID, assign func(v int) bool) bool {
 
 // Reachable returns all nodes reachable from f, terminals excluded.
 func (m *Manager) Reachable(f NodeID) []NodeID {
-	seen := map[NodeID]bool{}
+	seen := getNodeMemo(len(m.nodes), false)
+	defer putNodeMemo(seen)
 	var out []NodeID
 	var walk func(NodeID)
 	walk = func(x NodeID) {
-		if m.IsTerminal(x) || seen[x] {
+		if m.IsTerminal(x) {
 			return
 		}
-		seen[x] = true
+		if _, ok := seen.get(x); ok {
+			return
+		}
+		seen.put(x, 0)
 		out = append(out, x)
 		walk(m.nodes[x].lo)
 		walk(m.nodes[x].hi)
@@ -545,15 +603,20 @@ func (m *Manager) Support(f NodeID) []int {
 // sessions compact to bound memory. The variable order is preserved.
 func (m *Manager) Compact(roots ...NodeID) (*Manager, []NodeID) {
 	nm := NewManager(m.levelVar)
-	memo := map[NodeID]NodeID{False: False, True: True}
+	nm.SetApplyCacheMax(m.cache.max)
+	memo := getNodeMemo(len(m.nodes), true)
+	defer putNodeMemo(memo)
 	var rebuild func(NodeID) NodeID
 	rebuild = func(f NodeID) NodeID {
-		if r, ok := memo[f]; ok {
+		if f <= True {
+			return f
+		}
+		if r, ok := memo.get(f); ok {
 			return r
 		}
 		n := m.nodes[f]
 		r := nm.MkNode(n.level, rebuild(n.lo), rebuild(n.hi))
-		memo[f] = r
+		memo.put(f, r)
 		return r
 	}
 	out := make([]NodeID, len(roots))
@@ -569,13 +632,14 @@ func (m *Manager) Cofactor(f NodeID, v int, value bool) NodeID {
 	if !ok {
 		return f
 	}
-	memo := make(map[NodeID]NodeID)
+	memo := getNodeMemo(len(m.nodes), false)
+	defer putNodeMemo(memo)
 	var rec func(NodeID) NodeID
 	rec = func(g NodeID) NodeID {
 		if m.IsTerminal(g) || m.nodes[g].level > l {
 			return g
 		}
-		if r, hit := memo[g]; hit {
+		if r, hit := memo.get(g); hit {
 			return r
 		}
 		n := m.nodes[g]
@@ -589,7 +653,7 @@ func (m *Manager) Cofactor(f NodeID, v int, value bool) NodeID {
 		} else {
 			r = m.MkNode(n.level, rec(n.lo), rec(n.hi))
 		}
-		memo[g] = r
+		memo.put(g, r)
 		return r
 	}
 	return rec(f)

@@ -82,11 +82,16 @@ func (p Perm) Validate(db *engine.Database) error {
 func TupleOrder(db *engine.Database, pi Perm) []int {
 	type entry struct {
 		v   int
-		key []engine.Value
+		off int // start of the permuted key in the shared backing array
+		n   int // key length
 		ar  int
 		rel string
 		pos int
 	}
+	// All keys live in one backing array instead of one small slice per
+	// probabilistic tuple — TupleOrder runs once per compilation over every
+	// tuple, and the per-tuple allocations dominated its profile.
+	var keys []engine.Value
 	var entries []entry
 	for _, name := range db.Relations() {
 		r := db.Relation(name)
@@ -104,22 +109,23 @@ func TupleOrder(db *engine.Database, pi Perm) []int {
 			if t.Var == 0 {
 				continue
 			}
-			key := make([]engine.Value, len(perm))
-			for i, c := range perm {
-				key[i] = t.Vals[c]
+			off := len(keys)
+			for _, c := range perm {
+				keys = append(keys, t.Vals[c])
 			}
-			entries = append(entries, entry{v: t.Var, key: key, ar: r.Arity(), rel: name, pos: ti})
+			entries = append(entries, entry{v: t.Var, off: off, n: len(perm), ar: r.Arity(), rel: name, pos: ti})
 		}
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
-		for k := 0; k < len(a.key) && k < len(b.key); k++ {
-			if c := a.key[k].Compare(b.key[k]); c != 0 {
+		ka, kb := keys[a.off:a.off+a.n], keys[b.off:b.off+b.n]
+		for k := 0; k < len(ka) && k < len(kb); k++ {
+			if c := ka[k].Compare(kb[k]); c != 0 {
 				return c < 0
 			}
 		}
-		if len(a.key) != len(b.key) {
-			return len(a.key) < len(b.key)
+		if len(ka) != len(kb) {
+			return len(ka) < len(kb)
 		}
 		if a.ar != b.ar {
 			return a.ar < b.ar

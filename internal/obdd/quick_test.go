@@ -113,6 +113,99 @@ func TestQuickReduced(t *testing.T) {
 	}
 }
 
+// refProb is a map-memoized reference for Manager.Prob, independent of the
+// kernel's pooled dense memos.
+func refProb(m *Manager, x NodeID, probs []float64, memo map[NodeID]float64) float64 {
+	switch x {
+	case False:
+		return 0
+	case True:
+		return 1
+	}
+	if p, ok := memo[x]; ok {
+		return p
+	}
+	p := probs[m.VarAtLevel(int(m.NodeLevel(x)))]
+	r := (1-p)*refProb(m, m.Lo(x), probs, memo) + p*refProb(m, m.Hi(x), probs, memo)
+	memo[x] = r
+	return r
+}
+
+// refNot is a map-memoized reference for Manager.Not.
+func refNot(m *Manager, x NodeID, memo map[NodeID]NodeID) NodeID {
+	switch x {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := memo[x]; ok {
+		return r
+	}
+	r := m.MkNode(m.NodeLevel(x), refNot(m, m.Lo(x), memo), refNot(m, m.Hi(x), memo))
+	memo[x] = r
+	return r
+}
+
+// refImport is a map-memoized reference for Manager.Import.
+func refImport(dst, src *Manager, x NodeID, memo map[NodeID]NodeID) NodeID {
+	if x <= True {
+		return x
+	}
+	if r, ok := memo[x]; ok {
+		return r
+	}
+	r := dst.MkNode(src.NodeLevel(x), refImport(dst, src, src.Lo(x), memo), refImport(dst, src, src.Hi(x), memo))
+	memo[x] = r
+	return r
+}
+
+// TestQuickProbMatchesMapReference: the pooled dense-memo Prob equals a
+// plain map-memoized recursion, across many managers reusing pooled memos.
+func TestQuickProbMatchesMapReference(t *testing.T) {
+	f := func(c dnfCase) bool {
+		m := NewManager(seqOrder(c.NumVars))
+		g := buildFromDNF(m, c.DNF)
+		want := refProb(m, g, c.Probs, map[NodeID]float64{})
+		return math.Abs(m.Prob(g, c.Probs)-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNotMatchesMapReference: dense-memo Not returns the identical
+// NodeID as the map-memoized reference (canonicity pins both to one id).
+func TestQuickNotMatchesMapReference(t *testing.T) {
+	f := func(c dnfCase) bool {
+		m := NewManager(seqOrder(c.NumVars))
+		g := buildFromDNF(m, c.DNF)
+		return m.Not(g) == refNot(m, g, map[NodeID]NodeID{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImportMatchesMapReference: dense-memo Import lands on the same
+// NodeID as the map-memoized reference, and preserves probabilities.
+func TestQuickImportMatchesMapReference(t *testing.T) {
+	f := func(c dnfCase) bool {
+		src := NewManager(seqOrder(c.NumVars))
+		g := buildFromDNF(src, c.DNF)
+		dst := NewManager(seqOrder(c.NumVars))
+		got := dst.Import(src, g)
+		want := refImport(dst, src, g, map[NodeID]NodeID{})
+		if got != want {
+			return false
+		}
+		return math.Abs(dst.Prob(got, c.Probs)-src.Prob(g, c.Probs)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickShannon: P(f) = (1-p)·P(f|x=0) + p·P(f|x=1) at the root.
 func TestQuickShannon(t *testing.T) {
 	f := func(c dnfCase) bool {

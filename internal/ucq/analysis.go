@@ -1,6 +1,10 @@
 package ucq
 
-import "mvdb/internal/engine"
+import (
+	"sort"
+
+	"mvdb/internal/engine"
+)
 
 // RootVars returns the variables of a CQ that occur in every positive atom
 // (Section 4.2: "a root variable appears in all atoms of Q"). Negated atoms
@@ -13,34 +17,62 @@ import "mvdb/internal/engine"
 func (c CQ) RootVars() []string { return c.rootVarsSkip(SkipGround) }
 
 // rootVarsSkip returns the variables occurring in every atom the filter
-// keeps; no roots if every atom is skipped.
+// keeps; no roots if every atom is skipped. Candidates are seeded from the
+// first kept atom and filtered against the rest — atoms hold a handful of
+// terms, so linear scans over a small slice beat per-atom maps.
 func (c CQ) rootVarsSkip(skip AtomSkip) []string {
-	var pos []Atom
+	var cand []string
+	seeded := false
 	for _, a := range c.Atoms {
-		if !skip(a) {
-			pos = append(pos, a)
+		if skip(a) {
+			continue
 		}
-	}
-	if len(pos) == 0 {
-		return nil
-	}
-	count := map[string]int{}
-	for _, a := range pos {
-		seen := map[string]bool{}
-		for _, t := range a.Args {
-			if !t.IsConst && !seen[t.Var] {
-				seen[t.Var] = true
-				count[t.Var]++
+		if !seeded {
+			seeded = true
+			for _, t := range a.Args {
+				if !t.IsConst && !containsStr(cand, t.Var) {
+					cand = append(cand, t.Var)
+				}
+			}
+			if len(cand) == 0 {
+				return nil
+			}
+			continue
+		}
+		kept := cand[:0]
+		for _, v := range cand {
+			if atomHasVar(a, v) {
+				kept = append(kept, v)
 			}
 		}
-	}
-	var out []string
-	for _, v := range c.Vars() {
-		if count[v] == len(pos) {
-			out = append(out, v)
+		cand = kept
+		if len(cand) == 0 {
+			return nil
 		}
 	}
-	return out
+	if !seeded {
+		return nil
+	}
+	sort.Strings(cand) // match the historical Vars()-sorted order
+	return cand
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func atomHasVar(a Atom, v string) bool {
+	for _, t := range a.Args {
+		if !t.IsConst && t.Var == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Separator describes a separator variable choice for a UCQ: one root
@@ -168,82 +200,110 @@ func (c CQ) connectedComponents() []CQ {
 	if n == 0 {
 		return nil
 	}
-	parent := make([]int, n)
+	if n == 1 {
+		// One atom: a single component carrying every predicate — skip the
+		// union-find and grouping maps (the compiler's residual conjuncts hit
+		// this constantly).
+		return []CQ{c}
+	}
+	var parentBuf [16]int
+	parent := parentBuf[:]
+	if n > len(parentBuf) {
+		parent = make([]int, n)
+	}
+	parent = parent[:n]
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
+	find := func(x int) int {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
 	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-
-	varAtom := map[string]int{}
-	for i, a := range c.Atoms {
-		for _, t := range a.Args {
+	// atomFor returns the first atom carrying the variable, or -1 — the same
+	// mapping the old var->atom map encoded, but n is tiny here (residual
+	// conjuncts after separator substitution), so a scan costs nothing and
+	// the map allocation dominated this function's profile.
+	atomFor := func(v string) int {
+		for i, a := range c.Atoms {
+			for _, t := range a.Args {
+				if !t.IsConst && t.Var == v {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	for i := 1; i < n; i++ {
+		for _, t := range c.Atoms[i].Args {
 			if t.IsConst {
 				continue
 			}
-			if j, ok := varAtom[t.Var]; ok {
-				union(i, j)
-			} else {
-				varAtom[t.Var] = i
+			if j := atomFor(t.Var); j >= 0 && j < i {
+				parent[find(i)] = find(j)
 			}
 		}
 	}
 	// Predicates connect their variables' components.
 	for _, p := range c.Preds {
-		var vs []string
-		if !p.L.IsConst {
-			vs = append(vs, p.L.Var)
-		}
-		if !p.R.IsConst {
-			vs = append(vs, p.R.Var)
-		}
-		if len(vs) == 2 {
-			if a, ok := varAtom[vs[0]]; ok {
-				if b, ok2 := varAtom[vs[1]]; ok2 {
-					union(a, b)
-				}
+		if !p.L.IsConst && !p.R.IsConst {
+			if a, b := atomFor(p.L.Var), atomFor(p.R.Var); a >= 0 && b >= 0 {
+				parent[find(a)] = find(b)
 			}
 		}
 	}
-	groups := map[int]*CQ{}
-	var order []int
+	// Single component — the overwhelmingly common outcome — needs no group
+	// bookkeeping at all.
+	root := find(0)
+	single := true
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			single = false
+			break
+		}
+	}
+	if single {
+		return []CQ{c}
+	}
+	var rootsBuf [16]int
+	roots := rootsBuf[:0]
+	idx := func(r int) int {
+		for k, x := range roots {
+			if x == r {
+				return k
+			}
+		}
+		return -1
+	}
+	out := make([]CQ, 0, 2)
 	for i, a := range c.Atoms {
 		r := find(i)
-		g, ok := groups[r]
-		if !ok {
-			g = &CQ{}
-			groups[r] = g
-			order = append(order, r)
+		k := idx(r)
+		if k < 0 {
+			roots = append(roots, r)
+			out = append(out, CQ{})
+			k = len(out) - 1
 		}
-		g.Atoms = append(g.Atoms, a)
+		out[k].Atoms = append(out[k].Atoms, a)
 	}
 	for _, p := range c.Preds {
 		target := -1
 		if !p.L.IsConst {
-			if a, ok := varAtom[p.L.Var]; ok {
-				target = find(a)
+			if a := atomFor(p.L.Var); a >= 0 {
+				target = idx(find(a))
 			}
 		}
 		if target == -1 && !p.R.IsConst {
-			if a, ok := varAtom[p.R.Var]; ok {
-				target = find(a)
+			if a := atomFor(p.R.Var); a >= 0 {
+				target = idx(find(a))
 			}
 		}
 		if target == -1 {
-			target = order[0]
+			target = 0
 		}
-		groups[target].Preds = append(groups[target].Preds, p)
-	}
-	out := make([]CQ, 0, len(order))
-	for _, r := range order {
-		out = append(out, *groups[r])
+		out[target].Preds = append(out[target].Preds, p)
 	}
 	return out
 }
@@ -257,6 +317,9 @@ func (u UCQ) unionGroups() []UCQ {
 	n := len(u.Disjuncts)
 	if n == 0 {
 		return nil
+	}
+	if n == 1 {
+		return []UCQ{u}
 	}
 	parent := make([]int, n)
 	for i := range parent {

@@ -221,6 +221,25 @@ func (c CQ) Vars() []string {
 	return sortedKeys(set)
 }
 
+// HasVars reports whether the CQ mentions any variable — equivalent to
+// len(c.Vars()) > 0 without building the set (this sits on the compiler's
+// per-block path).
+func (c CQ) HasVars() bool {
+	for _, a := range c.Atoms {
+		for _, t := range a.Args {
+			if !t.IsConst {
+				return true
+			}
+		}
+	}
+	for _, p := range c.Preds {
+		if !p.L.IsConst || !p.R.IsConst {
+			return true
+		}
+	}
+	return false
+}
+
 // PositiveVars returns the sorted variables occurring in positive atoms.
 func (c CQ) PositiveVars() []string {
 	set := map[string]bool{}
@@ -278,6 +297,43 @@ func (c CQ) Subst(binding map[string]engine.Value) CQ {
 	}
 	for i, p := range c.Preds {
 		out.Preds[i] = Pred{Op: p.Op, L: substTerm(p.L), R: substTerm(p.R), Offset: p.Offset}
+	}
+	return out
+}
+
+// Subst1 is Subst for a single-variable binding, without the map (the
+// compiler substitutes one separator value per block, many thousands of
+// times per compile).
+func (c CQ) Subst1(name string, v engine.Value) CQ {
+	subst := func(t Term) Term {
+		if !t.IsConst && t.Var == name {
+			return C(v)
+		}
+		return t
+	}
+	// One flat backing array serves every atom's argument list: Subst1 runs
+	// once per disjunct per separator value, so the per-atom slices of the
+	// generic Subst showed up hard in compile profiles.
+	total := 0
+	for _, a := range c.Atoms {
+		total += len(a.Args)
+	}
+	args := make([]Term, total)
+	out := CQ{Atoms: make([]Atom, len(c.Atoms))}
+	off := 0
+	for i, a := range c.Atoms {
+		na := args[off : off+len(a.Args) : off+len(a.Args)]
+		off += len(a.Args)
+		for j, t := range a.Args {
+			na[j] = subst(t)
+		}
+		out.Atoms[i] = Atom{Rel: a.Rel, Args: na, Negated: a.Negated}
+	}
+	if len(c.Preds) > 0 {
+		out.Preds = make([]Pred, len(c.Preds))
+		for i, p := range c.Preds {
+			out.Preds[i] = Pred{Op: p.Op, L: subst(p.L), R: subst(p.R), Offset: p.Offset}
+		}
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package ucq
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"mvdb/internal/engine"
 	"mvdb/internal/lineage"
@@ -40,18 +42,21 @@ func EvalBoolean(db *engine.Database, u UCQ) (lineage.DNF, error) {
 			return nil, err
 		}
 	}
-	rs := acc.rows()
-	if len(rs) == 0 {
+	if acc.boolA == nil {
 		return lineage.False(), nil
 	}
-	return rs[0].Lineage, nil
+	return acc.boolA.terms, nil
 }
 
 // accumulator groups derivations by head tuple and deduplicates terms.
 type accumulator struct {
 	byHead map[string]*answerAcc
 	order  []string
+	boolA   *answerAcc // fast path for Boolean queries (empty heads)
+	keyBuf  []byte     // scratch for term dedup keys, reused across add calls
+	headBuf []byte     // scratch for head keys, ditto
 }
+
 
 type answerAcc struct {
 	head  []engine.Value
@@ -64,17 +69,39 @@ func newAccumulator() *accumulator {
 }
 
 func (acc *accumulator) add(head []engine.Value, term []int) {
-	k := engine.TupleKey(head)
-	a, ok := acc.byHead[k]
-	if !ok {
-		a = &answerAcc{head: append([]engine.Value(nil), head...), seen: map[string]bool{}}
-		acc.byHead[k] = a
-		acc.order = append(acc.order, k)
+	var a *answerAcc
+	if len(head) == 0 {
+		// Boolean queries — the compiler's residual lineages take this path
+		// once per derivation; skip the head-key machinery entirely.
+		if acc.boolA == nil {
+			acc.boolA = &answerAcc{seen: map[string]bool{}}
+			acc.byHead[""] = acc.boolA
+			acc.order = append(acc.order, "")
+		}
+		a = acc.boolA
+	} else {
+		hb := engine.AppendTupleKey(acc.headBuf[:0], head)
+		acc.headBuf = hb
+		var ok bool
+		if a, ok = acc.byHead[string(hb)]; !ok {
+			k := string(hb)
+			a = &answerAcc{head: append([]engine.Value(nil), head...), seen: map[string]bool{}}
+			acc.byHead[k] = a
+			acc.order = append(acc.order, k)
+		}
 	}
 	t := lineage.Term(term...)
-	tk := fmt.Sprint(t)
-	if !a.seen[tk] {
-		a.seen[tk] = true
+	// Dedup key: the sorted variable ids, comma-separated. Building it into
+	// a reused buffer keeps the non-insert case allocation-free (the compiler
+	// replays many duplicate derivations per separator value).
+	buf := acc.keyBuf[:0]
+	for _, v := range t {
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ',')
+	}
+	acc.keyBuf = buf
+	if !a.seen[string(buf)] {
+		a.seen[string(buf)] = true
 		a.terms = append(a.terms, t)
 	}
 }
@@ -85,16 +112,34 @@ func (acc *accumulator) rows() []AnswerRow {
 		a := acc.byHead[k]
 		out = append(out, AnswerRow{Head: a.head, Lineage: a.terms})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return engine.TupleKey(out[i].Head) < engine.TupleKey(out[j].Head)
-	})
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool {
+			return lessTuple(out[i].Head, out[j].Head)
+		})
+	}
 	return out
+}
+
+// lessTuple orders head tuples value-wise (integers numerically, before
+// strings) without materializing string keys.
+func lessTuple(a, b []engine.Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
 }
 
 // evalCQ enumerates all satisfying assignments of one conjunctive query and
 // feeds (head, derivation term) pairs into the accumulator.
 func evalCQ(db *engine.Database, cq CQ, head []string, acc *accumulator) error {
-	var positive, negated []Atom
+	st := getEvalState()
+	defer putEvalState(st)
+	st.positive, st.negated = st.positive[:0], st.negated[:0]
 	for _, a := range cq.Atoms {
 		r := db.Relation(a.Rel)
 		if r == nil {
@@ -107,26 +152,53 @@ func evalCQ(db *engine.Database, cq CQ, head []string, acc *accumulator) error {
 			if !r.Deterministic {
 				return fmt.Errorf("ucq: negation on probabilistic relation %s is not allowed", a.Rel)
 			}
-			negated = append(negated, a)
+			st.negated = append(st.negated, a)
 		} else {
-			positive = append(positive, a)
+			st.positive = append(st.positive, a)
 		}
 	}
-	if len(positive) == 0 {
+	if len(st.positive) == 0 {
 		return fmt.Errorf("ucq: conjunct has no positive atoms")
 	}
 
-	st := &evalState{
-		db:       db,
-		positive: positive,
-		negated:  negated,
-		preds:    cq.Preds,
-		head:     head,
-		binding:  map[string]engine.Value{},
-		done:     make([]bool, len(positive)),
-		acc:      acc,
-	}
+	st.db, st.preds, st.head, st.acc = db, cq.Preds, head, acc
+	st.done = boolScratch(st.done, len(st.positive))
+	st.predDone = boolScratch(st.predDone, len(cq.Preds))
+	st.negDone = boolScratch(st.negDone, len(st.negated))
 	return st.run(0)
+}
+
+// boolScratch resizes a reusable bool slice to n cleared entries.
+func boolScratch(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// evalStatePool recycles evaluator states: the OBDD compiler evaluates one
+// residual lineage per unresolvable conjunct, so states churn at high rate
+// during compilation.
+var evalStatePool = sync.Pool{
+	New: func() any { return &evalState{binding: map[string]engine.Value{}} },
+}
+
+func getEvalState() *evalState { return evalStatePool.Get().(*evalState) }
+
+func putEvalState(st *evalState) {
+	st.db, st.preds, st.head, st.acc = nil, nil, nil, nil
+	clear(st.binding) // empty after a clean unwind; cheap either way
+	st.positive = st.positive[:0]
+	st.negated = st.negated[:0]
+	st.term = st.term[:0]
+	st.varStack = st.varStack[:0]
+	st.checkedPreds = st.checkedPreds[:0]
+	st.checkedNegs = st.checkedNegs[:0]
+	evalStatePool.Put(st)
 }
 
 type evalState struct {
@@ -142,23 +214,35 @@ type evalState struct {
 
 	predDone []bool
 	negDone  []bool
+	varStack []string // names bound on the current path, shared by all frames
+
+	// Shared undo stacks and scratch buffers: run recurses once per joined
+	// atom, and per-frame slices plus deferred closures were a measurable
+	// slice of compile-time allocations.
+	checkedPreds []int
+	checkedNegs  []int
+	negVals      []engine.Value
+	headVals     []engine.Value
 }
 
+// run evaluates bound predicates and negated atoms, recurses via step, and
+// restores the per-frame predDone/negDone marks on the way out.
 func (st *evalState) run(processed int) error {
-	if st.predDone == nil {
-		st.predDone = make([]bool, len(st.preds))
-		st.negDone = make([]bool, len(st.negated))
+	pm, nm := len(st.checkedPreds), len(st.checkedNegs)
+	err := st.step(processed)
+	for _, i := range st.checkedPreds[pm:] {
+		st.predDone[i] = false
 	}
+	st.checkedPreds = st.checkedPreds[:pm]
+	for _, i := range st.checkedNegs[nm:] {
+		st.negDone[i] = false
+	}
+	st.checkedNegs = st.checkedNegs[:nm]
+	return err
+}
+
+func (st *evalState) step(processed int) error {
 	// Evaluate any predicate or negated atom whose variables are all bound.
-	var checkedPreds, checkedNegs []int
-	defer func() {
-		for _, i := range checkedPreds {
-			st.predDone[i] = false
-		}
-		for _, i := range checkedNegs {
-			st.negDone[i] = false
-		}
-	}()
 	for i, p := range st.preds {
 		if st.predDone[i] {
 			continue
@@ -170,14 +254,17 @@ func (st *evalState) run(processed int) error {
 				return nil
 			}
 			st.predDone[i] = true
-			checkedPreds = append(checkedPreds, i)
+			st.checkedPreds = append(st.checkedPreds, i)
 		}
 	}
 	for i, a := range st.negated {
 		if st.negDone[i] {
 			continue
 		}
-		vals := make([]engine.Value, len(a.Args))
+		if cap(st.negVals) < len(a.Args) {
+			st.negVals = make([]engine.Value, len(a.Args))
+		}
+		vals := st.negVals[:len(a.Args)]
 		allBound := true
 		for j, t := range a.Args {
 			v, ok := st.resolve(t)
@@ -192,7 +279,7 @@ func (st *evalState) run(processed int) error {
 				return nil // negated atom violated
 			}
 			st.negDone[i] = true
-			checkedNegs = append(checkedNegs, i)
+			st.checkedNegs = append(st.checkedNegs, i)
 		}
 	}
 
@@ -208,7 +295,10 @@ func (st *evalState) run(processed int) error {
 				return fmt.Errorf("ucq: negated atom %s has unbound variables", st.negated[i])
 			}
 		}
-		headVals := make([]engine.Value, len(st.head))
+		if cap(st.headVals) < len(st.head) {
+			st.headVals = make([]engine.Value, len(st.head))
+		}
+		headVals := st.headVals[:len(st.head)]
 		for i, h := range st.head {
 			v, ok := st.binding[h]
 			if !ok {
@@ -247,13 +337,13 @@ func (st *evalState) run(processed int) error {
 	a := st.positive[best]
 	rel := st.db.Relation(a.Rel)
 	st.done[best] = true
-	defer func() { st.done[best] = false }()
 
+	var err error
 	candidates := st.candidates(rel, a)
 	for _, ti := range candidates {
 		tup := rel.Tuples[ti]
-		newVars := st.tryBind(a, tup.Vals)
-		if newVars == nil {
+		mark, ok := st.tryBind(a, tup.Vals)
+		if !ok {
 			continue
 		}
 		pushedVar := false
@@ -261,18 +351,20 @@ func (st *evalState) run(processed int) error {
 			st.term = append(st.term, tup.Var)
 			pushedVar = true
 		}
-		err := st.run(processed + 1)
+		err = st.run(processed + 1)
 		if pushedVar {
 			st.term = st.term[:len(st.term)-1]
 		}
-		for _, v := range newVars {
+		for _, v := range st.varStack[mark:] {
 			delete(st.binding, v)
 		}
+		st.varStack = st.varStack[:mark]
 		if err != nil {
-			return err
+			break
 		}
 	}
-	return nil
+	st.done[best] = false
+	return err
 }
 
 // resolve returns the value of a term under the current binding.
@@ -378,22 +470,24 @@ func (st *evalState) boundsFor(v string) (eq *engine.Value, lo *engine.Value, lo
 }
 
 // tryBind unifies the atom's arguments with the tuple values, extending the
-// binding. It returns the list of newly bound variables, or nil if the
-// tuple does not match.
-func (st *evalState) tryBind(a Atom, vals []engine.Value) []string {
-	newVars := []string{}
+// binding and pushing newly bound variable names onto the shared varStack.
+// It returns the stack mark to pop back to after the recursive call and
+// whether the tuple matched; on a mismatch the bindings are already undone.
+func (st *evalState) tryBind(a Atom, vals []engine.Value) (int, bool) {
+	mark := len(st.varStack)
 	for i, t := range a.Args {
 		if v, ok := st.resolve(t); ok {
 			if !v.Equal(vals[i]) {
-				for _, nv := range newVars {
+				for _, nv := range st.varStack[mark:] {
 					delete(st.binding, nv)
 				}
-				return nil
+				st.varStack = st.varStack[:mark]
+				return 0, false
 			}
 			continue
 		}
 		st.binding[t.Var] = vals[i]
-		newVars = append(newVars, t.Var)
+		st.varStack = append(st.varStack, t.Var)
 	}
-	return newVars
+	return mark, true
 }
