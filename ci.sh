@@ -13,6 +13,12 @@ go vet ./...
 go test -timeout 5m ./...
 go test -race -timeout 10m ./...
 
+# Singleflight hammer, explicitly under the race detector: concurrent
+# identical queries with mid-flight cancellation through the cross-query
+# cache (DESIGN.md §9's abort protocol only bites with the detector on).
+go test -race -run 'TestSingleflightHammer|TestConcurrentHammer|TestMidFlightInvalidation' \
+    -count=2 -timeout 5m ./internal/mvindex/ ./internal/qcache/
+
 # Benchmark smoke: one iteration of the parallel-compile benchmark catches
 # kernel or scheduler regressions that only manifest under the bench harness
 # (it asserts sequential/parallel result identity on every run).
@@ -41,6 +47,22 @@ done
 [ "$ready" = 1 ] || { kill "$mvdbd_pid" 2>/dev/null; echo "mvdbd never became ready"; exit 1; }
 curl -fsS -X POST "http://$addr/query" -H 'Content-Type: application/json' \
     -d '{"query": "Q(a) :- Advisor(104,a)"}' >/dev/null
+
+# Cache-correctness smoke: the same query twice — the second must be served
+# from the cross-query cache (hits > 0 in /stats) with identical answers.
+first=$(curl -fsS -X POST "http://$addr/query" -H 'Content-Type: application/json' \
+    -d '{"query": "Q(a) :- Advisor(104,a)"}')
+second=$(curl -fsS -X POST "http://$addr/query" -H 'Content-Type: application/json' \
+    -d '{"query": "Q(a) :- Advisor(104,a)"}')
+a1=$(printf '%s' "$first"  | tr -d ' \n\t' | sed 's/.*"answers"://;s/,"millis.*//')
+a2=$(printf '%s' "$second" | tr -d ' \n\t' | sed 's/.*"answers"://;s/,"millis.*//')
+[ "$a1" = "$a2" ] || { echo "cache smoke: answers diverged: $a1 vs $a2"; kill "$mvdbd_pid"; exit 1; }
+[ -n "$a1" ] || { echo "cache smoke: empty answers"; kill "$mvdbd_pid"; exit 1; }
+curl -fsS "http://$addr/stats" | tr -d ' \n\t' | grep -q '"cache":{"enabled":true' \
+    || { echo "cache smoke: cache not enabled in /stats"; kill "$mvdbd_pid"; exit 1; }
+curl -fsS "http://$addr/stats" | tr -d ' \n\t' | sed 's/.*"answers"://' | grep -q '"hits":[1-9]' \
+    || { echo "cache smoke: no cache hit recorded"; kill "$mvdbd_pid"; exit 1; }
+
 kill -TERM "$mvdbd_pid"
 wait "$mvdbd_pid"   # set -e fails the gate if the drain exits non-zero
 

@@ -31,6 +31,7 @@ import (
 	"mvdb/internal/core"
 	"mvdb/internal/dblp"
 	"mvdb/internal/mvindex"
+	"mvdb/internal/qcache"
 	"mvdb/internal/server"
 )
 
@@ -48,6 +49,10 @@ func main() {
 		maxPairs     = flag.Int("max-pairs", 0, "intersection pairs a single evaluation may visit (0 = unlimited); exhaustion returns 503")
 		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes; larger bodies return 413")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		cache        = flag.Bool("cache", true, "cross-query answer/lineage cache on the serving path")
+		cacheEntries = flag.Int("cache-entries", 0, "answer-cache entry cap (0 = default, negative = unlimited)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "answer-cache byte cap (0 = default, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -86,6 +91,7 @@ func main() {
 		MaxInflight:  *maxInflight,
 		MaxBodyBytes: *maxBody,
 		Budget:       budget.Budget{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
+		Cache:        qcache.Options{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, Disable: !*cache},
 	})
 	srv := &http.Server{
 		Addr:              *addr,

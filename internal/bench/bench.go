@@ -43,6 +43,12 @@ type Options struct {
 	// experiment and the fig8 mv-par column: 0 uses GOMAXPROCS, 1 is the
 	// sequential reference.
 	Parallelism int
+	// Cache enables the cached leg of the cache experiment; false runs the
+	// baseline-only ablation.
+	Cache bool
+	// CacheRequests and CacheDistinct shape the cache experiment's Zipf mix:
+	// CacheRequests total requests over CacheDistinct distinct queries.
+	CacheRequests, CacheDistinct int
 }
 
 // Defaults returns the sweep the paper ran: domains 1000..10000 and a large
@@ -53,24 +59,30 @@ func Defaults() Options {
 		domains = append(domains, d)
 	}
 	return Options{
-		Domains:      domains,
-		FullAuthors:  20000,
-		Seed:         1,
-		MCSatBurn:    50,
-		MCSatSamples: 150,
-		Queries:      10,
+		Domains:       domains,
+		FullAuthors:   20000,
+		Seed:          1,
+		MCSatBurn:     50,
+		MCSatSamples:  150,
+		Queries:       10,
+		Cache:         true,
+		CacheRequests: 300,
+		CacheDistinct: 24,
 	}
 }
 
 // Small returns a fast configuration for tests and Go benchmarks.
 func Small() Options {
 	return Options{
-		Domains:      []int{200, 400, 600},
-		FullAuthors:  1500,
-		Seed:         1,
-		MCSatBurn:    10,
-		MCSatSamples: 30,
-		Queries:      5,
+		Domains:       []int{200, 400, 600},
+		FullAuthors:   1500,
+		Seed:          1,
+		MCSatBurn:     10,
+		MCSatSamples:  30,
+		Queries:       5,
+		Cache:         true,
+		CacheRequests: 80,
+		CacheDistinct: 8,
 	}
 }
 
@@ -93,6 +105,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Queries == 0 {
 		o.Queries = d.Queries
+	}
+	if o.CacheRequests == 0 {
+		o.CacheRequests = d.CacheRequests
+	}
+	if o.CacheDistinct == 0 {
+		o.CacheDistinct = d.CacheDistinct
 	}
 	return o
 }

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"mvdb/internal/ucq"
 )
 
 func small() Options { return Small() }
@@ -217,8 +219,92 @@ func TestParallelExperiment(t *testing.T) {
 	}
 }
 
+// TestCacheExperiment runs the cache experiment on a small sweep and checks
+// the correctness column (cached answers identical to uncached) plus the JSON
+// report round-trip. Timing columns are load-sensitive and not asserted.
+func TestCacheExperiment(t *testing.T) {
+	opts := small()
+	opts.Domains = []int{200}
+	opts.Cache = true
+	opts.CacheRequests = 40
+	opts.CacheDistinct = 5
+	tab, err := CacheServing(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if same := tab.Rows[0][len(tab.Rows[0])-1]; same != "true" {
+		t.Errorf("cached answers diverged from uncached: %v", tab.Rows[0])
+	}
+	var buf strings.Builder
+	if err := WriteCacheJSON(&buf, tab, opts); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Requests int `json:"requests"`
+		Rows     []struct {
+			Domain      int     `json:"domain"`
+			UncachedSec float64 `json:"uncached_sec"`
+			HitRate     float64 `json:"answer_hit_rate"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v", err)
+	}
+	if rep.Requests != 40 || len(rep.Rows) != 1 || rep.Rows[0].Domain != 200 ||
+		rep.Rows[0].UncachedSec <= 0 || rep.Rows[0].HitRate <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// Baseline-only ablation: no cached leg, and the JSON writer refuses.
+	opts.Cache = false
+	tab, err = CacheServing(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCacheJSON(&strings.Builder{}, tab, opts); err == nil {
+		t.Error("WriteCacheJSON accepted a baseline-only run")
+	}
+}
+
+// TestZipfWorkload: the request mix is deterministic, covers the hottest
+// query most, and stays within bounds.
+func TestZipfWorkload(t *testing.T) {
+	qs := make([]*ucq.Query, 6)
+	for i := range qs {
+		qs[i] = ucq.MustParse("Q(a) :- Adv(1,a)")
+	}
+	w1 := NewZipfWorkload(qs, 200, 1.2, 7)
+	w2 := NewZipfWorkload(qs, 200, 1.2, 7)
+	if len(w1.Requests) != 200 {
+		t.Fatalf("requests = %d", len(w1.Requests))
+	}
+	for i, k := range w1.Requests {
+		if k < 0 || k >= len(qs) {
+			t.Fatalf("request %d out of range: %d", i, k)
+		}
+		if w2.Requests[i] != k {
+			t.Fatal("workload not deterministic for equal seeds")
+		}
+	}
+	max := 0
+	for i, h := range w1.Hits {
+		if h > w1.Hits[max] {
+			max = i
+		}
+	}
+	if max != 0 {
+		t.Errorf("rank 0 is not the hottest query: hits %v", w1.Hits)
+	}
+	if w1.Distinct() < 2 {
+		t.Errorf("degenerate mix: %v", w1.Hits)
+	}
+}
+
 func TestByID(t *testing.T) {
-	for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "madden"} {
+	for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "cache", "madden"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("ByID(%q) missing", id)
 		}

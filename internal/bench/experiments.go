@@ -466,6 +466,7 @@ func ByID(id string) (func(Options) (*Table, error), bool) {
 		"fig10":        Fig10StudentQueries,
 		"fig11":        Fig11AffiliationQueries,
 		"parallel":     ParallelCompileQuery,
+		"cache":        CacheServing,
 		"madden":       Madden,
 		"ablate-entry": AblationEntryShortcut,
 		"methods":      MethodsCompare,

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+
+	"mvdb/internal/qcache"
+	"mvdb/internal/ucq"
+)
+
+// answerCache memoizes Query answer sets on a Translation, keyed by the
+// canonical query fingerprint mixed with the evaluation method. A Translation
+// is immutable after construction (tables, W, and the shared OBDD never
+// change), so entries are valid for the Translation's lifetime and no epoch
+// invalidation is needed; the cache still bounds itself by entries and bytes.
+type answerCache struct {
+	c *qcache.Cache[[]Answer]
+}
+
+// EnableCache installs a cross-query answer cache on the Translation (or
+// removes it with opts.Disable). Set it up before concurrent use: the field
+// write itself is unsynchronized, like Parallelism. Once installed, Query and
+// QueryContext consult it and collapse concurrent identical misses into one
+// evaluation (singleflight); per-method results are kept apart, since the
+// methods agree only up to final-ulp rounding.
+func (t *Translation) EnableCache(opts qcache.Options) {
+	if opts.Disable {
+		t.qc = nil
+		return
+	}
+	t.qc = &answerCache{c: qcache.New(opts, answerSetBytes)}
+}
+
+// CacheEnabled reports whether the answer cache is installed.
+func (t *Translation) CacheEnabled() bool { return t.qc != nil }
+
+// CacheStats returns the answer-cache counters (zero value when disabled).
+func (t *Translation) CacheStats() qcache.Stats {
+	if t.qc == nil {
+		return qcache.Stats{}
+	}
+	return t.qc.c.Stats()
+}
+
+// cacheKey mixes the method into the canonical fingerprint so MethodOBDD and
+// MethodDPLL answers for the same query occupy distinct entries.
+func (t *Translation) cacheKey(q *ucq.Query, method Method) qcache.Key {
+	fp := ucq.FingerprintQuery(q)
+	return qcache.Key{Hi: fp.Hi, Lo: fp.Lo ^ 0x9e3779b97f4a7c15*uint64(method+1)}
+}
+
+// answerSetBytes estimates the retained bytes of a cached answer set.
+func answerSetBytes(as []Answer) int64 {
+	n := int64(64)
+	for _, a := range as {
+		n += 32
+		for _, v := range a.Head {
+			n += 24 + int64(len(v.Str))
+		}
+	}
+	return n
+}
+
+// copyAnswerSet returns a shallow copy so callers can sort or append without
+// disturbing the cached slice; the Head tuples stay shared and are treated as
+// immutable by every consumer.
+func copyAnswerSet(as []Answer) []Answer {
+	out := make([]Answer, len(as))
+	copy(out, as)
+	return out
+}
+
+// cachedQuery wraps queryBounded in the answer cache: hit → copy, miss →
+// evaluate once (concurrent identical misses wait on the leader; a leader
+// abort wakes them to retry under their own bounds, so one caller's budget
+// violation never fails or poisons another's request).
+func (t *Translation) cachedQuery(q *ucq.Query, method Method, bo bounds) ([]Answer, error) {
+	ctx := bo.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, _, err := t.qc.c.Do(ctx, t.cacheKey(q, method), func() ([]Answer, error) {
+		return t.queryBounded(q, method, bo)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return copyAnswerSet(res), nil
+}

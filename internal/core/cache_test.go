@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/qcache"
+	"mvdb/internal/ucq"
+)
+
+// TestTranslationAnswerCache: cached and uncached Query agree, the second
+// identical call hits, methods do not cross-contaminate, and Disable removes
+// the cache.
+func TestTranslationAnswerCache(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	db.MustInsert("Adv", 1.5, engine.Int(1), engine.Int(10))
+	db.MustInsert("Adv", 2.5, engine.Int(1), engine.Int(11))
+	db.MustInsert("Adv", 0.7, engine.Int(2), engine.Int(10))
+	m := New(db)
+	v, _ := ParseView("V(s) :- Adv(s,a)", ConstWeight(1.6))
+	if err := m.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Translate(TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ucq.MustParse("Q(s) :- Adv(s,a)")
+	want, err := tr.Query(q, MethodOBDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr.EnableCache(qcache.Options{})
+	if !tr.CacheEnabled() {
+		t.Fatal("EnableCache did not install")
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := tr.Query(q, MethodOBDD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d rows, want %d", pass, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+				t.Fatalf("pass %d row %d: cached %v uncached %v", pass, i, got[i].Prob, want[i].Prob)
+			}
+		}
+	}
+	st := tr.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected a miss then a hit: %+v", st)
+	}
+
+	// A different method must not read MethodOBDD's entry.
+	if _, err := tr.Query(q, MethodDPLL); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CacheStats().Misses; got != st.Misses+1 {
+		t.Fatalf("MethodDPLL should miss separately: misses %d then %d", st.Misses, got)
+	}
+
+	tr.EnableCache(qcache.Options{Disable: true})
+	if tr.CacheEnabled() {
+		t.Fatal("Disable did not remove the cache")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mvdb/internal/lineage"
 	"mvdb/internal/obdd"
 	"mvdb/internal/plan"
+	"mvdb/internal/qcache"
 	"mvdb/internal/ucq"
 	"mvdb/internal/wmc"
 )
@@ -86,7 +87,20 @@ type obddState struct {
 	fW    obdd.NodeID
 	pW    float64
 	stats obdd.CompileStats
+
+	// roots memoizes synthesized query-OBDD roots on the shared manager,
+	// keyed by the canonical lineage hash: two answers (of the same or of
+	// different queries) with the same lineage share one synthesis. Guarded
+	// by mu like every other write to the shared manager; roots stay valid
+	// forever because the node store is append-only and the Translation is
+	// immutable after compilation. Bounded by maxRootMemo.
+	roots map[qcache.Key]obdd.NodeID
 }
+
+// maxRootMemo caps the shared-manager root memo; past it, synthesis still
+// runs (hash-consing keeps node growth bounded) but no new roots are
+// remembered.
+const maxRootMemo = 1 << 16
 
 // ensureOBDD compiles W once, with the separator-first permutation when W
 // has a separator, and caches the manager. The Translation must not be
@@ -106,7 +120,7 @@ func (t *Translation) ensureOBDDBounded(bo bounds) (*obddState, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &obddState{m: m, fW: fW, stats: stats}
+	st := &obddState{m: m, fW: fW, stats: stats, roots: map[qcache.Key]obdd.NodeID{}}
 	st.pW = m.Prob(fW, t.DB.Probs())
 	t.obdd = st
 	return st, nil
@@ -255,9 +269,21 @@ func (t *Translation) probFromLineage(linQ lineage.DNF, method Method, bo bounds
 			st.m.SetBudget(bo.ctx, bo.b)
 			defer st.m.SetBudget(nil, budget.Budget{})
 		}
+		// Root memo: answers that share a canonical lineage (within one query
+		// or across queries) reuse the synthesized root instead of replaying
+		// BuildDNF. Hash-consing means a replay would return the identical
+		// NodeID anyway; the memo saves the walk, not just the nodes.
+		hi, lo := linQ.Hash()
+		rkey := qcache.Key{Hi: hi, Lo: lo}
 		var pQW float64
 		if err := budget.Catch(func() {
-			fQ := obdd.BuildDNF(st.m, linQ)
+			fQ, memod := st.roots[rkey]
+			if !memod {
+				fQ = obdd.BuildDNF(st.m, linQ)
+				if len(st.roots) < maxRootMemo {
+					st.roots[rkey] = fQ
+				}
+			}
 			probs := t.DB.Probs()
 			pQW = st.m.Prob(st.m.Or(fQ, st.fW), probs)
 		}); err != nil {
@@ -311,6 +337,9 @@ func theorem1(pQW, pW float64) (float64, error) {
 // except MethodOBDD's query synthesis, which serializes on the cached
 // manager.
 func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
+	if t.qc != nil {
+		return t.cachedQuery(q, method, bounds{})
+	}
 	return t.queryBounded(q, method, bounds{})
 }
 
@@ -321,6 +350,9 @@ func (t *Translation) Query(q *ucq.Query, method Method) ([]Answer, error) {
 // whole query with an error wrapping budget.ErrCanceled or
 // budget.ErrBudgetExceeded — no partial answer set is returned.
 func (t *Translation) QueryContext(ctx context.Context, q *ucq.Query, method Method, b budget.Budget) ([]Answer, error) {
+	if t.qc != nil {
+		return t.cachedQuery(q, method, bounds{ctx: ctx, b: b})
+	}
 	return t.queryBounded(q, method, bounds{ctx: ctx, b: b})
 }
 
@@ -557,7 +589,7 @@ func TopK(answers []Answer, k int) []Answer {
 // MV-index) so evaluation does not recompile it. The manager must use the
 // order of WPerm over the same database.
 func (t *Translation) AttachOBDD(m *obdd.Manager, fW obdd.NodeID) {
-	st := &obddState{m: m, fW: fW}
+	st := &obddState{m: m, fW: fW, roots: map[qcache.Key]obdd.NodeID{}}
 	st.pW = m.Prob(fW, t.DB.Probs())
 	t.obdd = st
 }

@@ -43,6 +43,7 @@ type Translation struct {
 
 	nvSet map[string]bool
 	obdd  *obddState
+	qc    *answerCache // optional cross-query answer cache, see EnableCache
 }
 
 // Translate builds the associated INDB (Definition 5): every table of the

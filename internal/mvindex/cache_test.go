@@ -1,0 +1,268 @@
+package mvindex
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mvdb/internal/budget"
+	"mvdb/internal/qcache"
+	"mvdb/internal/ucq"
+)
+
+// TestCachedMatchesUncached: for random queries, answers served through the
+// cache (cold fill and warm hit) must match the uncached evaluation to 1e-12.
+func TestCachedMatchesUncached(t *testing.T) {
+	m := chainMVDB(30, 21)
+	_, ix := buildIndex(t, m)
+	ix.EnableCache(qcache.Options{})
+	rng := rand.New(rand.NewSource(9))
+	qAdv := ucq.MustParse("Q(a) :- Adv(s,a)")
+	for trial := 0; trial < 40; trial++ {
+		var q *ucq.Query
+		switch trial % 3 {
+		case 0:
+			q = qAdv
+		case 1:
+			s := rng.Int63n(30) + 1
+			q = &ucq.Query{Name: "Q", Head: []string{"a"}, UCQ: ucq.UCQ{Disjuncts: []ucq.CQ{{
+				Atoms: []ucq.Atom{{Rel: "Adv", Args: []ucq.Term{ucq.CInt(s), ucq.V("a")}}},
+			}}}}
+		default:
+			s1, s2 := rng.Int63n(30)+1, rng.Int63n(30)+1
+			q = &ucq.Query{Name: "Q", Head: []string{"a"}, UCQ: ucq.UCQ{Disjuncts: []ucq.CQ{
+				{Atoms: []ucq.Atom{{Rel: "Adv", Args: []ucq.Term{ucq.CInt(s1), ucq.V("a")}}}},
+				{Atoms: []ucq.Atom{{Rel: "Adv", Args: []ucq.Term{ucq.CInt(s2), ucq.V("a")}}}},
+			}}}
+		}
+		want, err := ix.Query(q, IntersectOptions{CacheConscious: true, DisableCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ { // pass 0 fills (or hits), pass 1 must hit
+			got, err := ix.Query(q, IntersectOptions{CacheConscious: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d pass %d: %d answers, want %d", trial, pass, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+					t.Fatalf("trial %d pass %d answer %d: cached %v uncached %v",
+						trial, pass, i, got[i].Prob, want[i].Prob)
+				}
+				for j, v := range got[i].Head {
+					if !v.Equal(want[i].Head[j]) {
+						t.Fatalf("trial %d: head mismatch %v vs %v", trial, got[i].Head, want[i].Head)
+					}
+				}
+			}
+		}
+	}
+	st := ix.CacheStats()
+	if st.Answers.Hits == 0 {
+		t.Fatalf("no answer-cache hits after repeated queries: %+v", st.Answers)
+	}
+	if st.Answers.Misses == 0 {
+		t.Fatalf("no misses recorded: %+v", st.Answers)
+	}
+}
+
+// TestRenamedQueryHitsCache: an alpha-renamed, reordered spelling of a cached
+// query must be served from the cache (shared fingerprint).
+func TestRenamedQueryHitsCache(t *testing.T) {
+	m := chainMVDB(10, 3)
+	_, ix := buildIndex(t, m)
+	ix.EnableCache(qcache.Options{})
+	q1 := ucq.MustParse("Q(a) :- Adv(s,a)")
+	q2 := ucq.MustParse("Answers(who) :- Adv(student,who)")
+	r1, err := ix.Query(q1, IntersectOptions{CacheConscious: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := ix.CacheStats().Answers.Hits
+	r2, err := ix.Query(q2, IntersectOptions{CacheConscious: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.CacheStats().Answers.Hits != h0+1 {
+		t.Fatalf("renamed query missed the cache: %+v", ix.CacheStats().Answers)
+	}
+	for i := range r1 {
+		if r1[i].Prob != r2[i].Prob {
+			t.Fatalf("renamed query answers differ: %v vs %v", r1[i], r2[i])
+		}
+	}
+}
+
+// TestReweightInvalidatesCache: after Reweight, queries must never return
+// pre-mutation probabilities.
+func TestReweightInvalidatesCache(t *testing.T) {
+	m := chainMVDB(8, 4)
+	tr, ix := buildIndex(t, m)
+	ix.EnableCache(qcache.Options{})
+	q := ucq.MustParse("Q(a) :- Adv(1,a)")
+	before, err := ix.Query(q, IntersectOptions{CacheConscious: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache, then mutate.
+	if _, err := ix.Query(q, IntersectOptions{CacheConscious: true}); err != nil {
+		t.Fatal(err)
+	}
+	adv := tr.DB.Relation("Adv")
+	for _, tup := range adv.Tuples {
+		tr.DB.SetWeight(tup.Var, tup.Weight*3)
+	}
+	ix.Reweight()
+	after, err := ix.Query(q, IntersectOptions{CacheConscious: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Query(q, IntersectOptions{CacheConscious: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range after {
+		if math.Abs(after[i].Prob-want[i].Prob) > 1e-9 {
+			t.Fatalf("post-reweight answer %d = %v, fresh index says %v", i, after[i].Prob, want[i].Prob)
+		}
+		if after[i].Prob == before[i].Prob {
+			t.Fatalf("answer %d still shows the pre-mutation probability %v", i, before[i].Prob)
+		}
+	}
+}
+
+// TestSingleflightHammer fires many concurrent identical queries, some with
+// contexts canceled mid-flight — no error other than cancellation may
+// surface, canceled callers must not fail others, and every successful result
+// must be correct. Run with -race in CI.
+func TestSingleflightHammer(t *testing.T) {
+	m := chainMVDB(20, 8)
+	_, ix := buildIndex(t, m)
+	ix.EnableCache(qcache.Options{})
+	q := ucq.MustParse("Q(a) :- Adv(s,a)")
+	want, err := ix.Query(q, IntersectOptions{CacheConscious: true, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 24
+	const rounds = 30
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if g%3 == 0 && r%2 == 0 {
+					cancel() // canceled before (or while) waiting
+				}
+				rows, err := ix.Query(q, IntersectOptions{CacheConscious: true, Ctx: ctx})
+				cancel()
+				if err != nil {
+					if errors.Is(err, budget.ErrCanceled) || errors.Is(err, context.Canceled) {
+						continue // our own cancellation — fine
+					}
+					t.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				if len(rows) != len(want) {
+					t.Errorf("goroutine %d: %d answers, want %d", g, len(rows), len(want))
+					return
+				}
+				for i := range rows {
+					if math.Abs(rows[i].Prob-want[i].Prob) > 1e-12 {
+						t.Errorf("goroutine %d: answer %d = %v, want %v", g, i, rows[i].Prob, want[i].Prob)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestLineageCacheSharesAcrossQueries: two distinct named queries whose
+// answers produce the same lineages must hit the lineage cache on the second
+// query even though the answer cache misses.
+func TestLineageCacheSharesAcrossQueries(t *testing.T) {
+	m := chainMVDB(12, 5)
+	_, ix := buildIndex(t, m)
+	ix.EnableCache(qcache.Options{})
+	// Two different spellings with different fingerprints but identical
+	// per-answer lineage: Q(a) :- Adv(1,a) vs the union with itself plus a
+	// distinct second disjunct evaluated first.
+	q1 := ucq.MustParse("Q(a) :- Adv(1,a)")
+	if _, err := ix.Query(q1, IntersectOptions{CacheConscious: true}); err != nil {
+		t.Fatal(err)
+	}
+	st1 := ix.CacheStats()
+	// A structurally different query (extra join variable constraint) whose
+	// bound answers re-derive the same lineages.
+	q2 := ucq.MustParse("R(x) :- Adv(1,x)\nR(x) :- Adv(2,x)")
+	if _, err := ix.Query(q2, IntersectOptions{CacheConscious: true}); err != nil {
+		t.Fatal(err)
+	}
+	st2 := ix.CacheStats()
+	if st2.Answers.Hits != st1.Answers.Hits {
+		t.Fatalf("distinct query hit the answer cache: %+v", st2.Answers)
+	}
+	if st2.Lineage.Hits <= st1.Lineage.Hits {
+		t.Fatalf("second query did not reuse cached lineage probabilities: %+v then %+v",
+			st1.Lineage, st2.Lineage)
+	}
+}
+
+// TestCacheStatsApplyCounters: the scratch-manager apply counters accumulate
+// on uncached evaluation.
+func TestCacheStatsApplyCounters(t *testing.T) {
+	m := chainMVDB(15, 6)
+	_, ix := buildIndex(t, m)
+	ix.EnableCache(qcache.Options{})
+	q := ucq.MustParse("Q() :- Adv(s,a)")
+	if _, err := ix.ProbBoolean(q.UCQ, IntersectOptions{CacheConscious: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.CacheStats()
+	if !st.Enabled {
+		t.Fatal("stats say cache disabled")
+	}
+	if st.QueryApplyHits+st.QueryApplyMisses == 0 {
+		t.Fatalf("no apply-cache activity recorded: %+v", st)
+	}
+}
+
+// TestDisableCacheOption: DisableCache opts out per call without touching the
+// installed cache.
+func TestDisableCacheOption(t *testing.T) {
+	m := chainMVDB(6, 2)
+	_, ix := buildIndex(t, m)
+	ix.EnableCache(qcache.Options{})
+	q := ucq.MustParse("Q(a) :- Adv(1,a)")
+	if _, err := ix.Query(q, IntersectOptions{DisableCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.CacheStats()
+	if st.Answers.Hits+st.Answers.Misses != 0 {
+		t.Fatalf("DisableCache still touched the answer cache: %+v", st.Answers)
+	}
+	if _, err := ix.Query(q, IntersectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.CacheStats().Answers.Misses == 0 {
+		t.Fatal("cached call did not register")
+	}
+	ix.EnableCache(qcache.Options{Disable: true})
+	if ix.CacheEnabled() {
+		t.Fatal("Disable did not remove the cache")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"mvdb/internal/core"
 	"mvdb/internal/lineage"
 	"mvdb/internal/obdd"
+	"mvdb/internal/qcache"
 	"mvdb/internal/ucq"
 )
 
@@ -82,6 +83,12 @@ type Index struct {
 	varBlock map[int]int           // InterBddIndex: variable -> chain block
 
 	cc *ccLayout
+
+	// cache, when non-nil, is the cross-query memoization layer (see
+	// EnableCache): answer cache, lineage cache, and singleflight. The read
+	// path consults it concurrently; installing or removing it is a mutating
+	// operation like Reweight.
+	cache *indexCache
 }
 
 // Build compiles the MV-index for a translation: it reuses the translation's
@@ -347,6 +354,11 @@ type IntersectOptions struct {
 	// (each answer runs its own intersection); Deadline bounds the whole
 	// call.
 	Budget budget.Budget
+	// DisableCache bypasses the index's cross-query cache (EnableCache) for
+	// this call: nothing is read from or written to the answer and lineage
+	// caches, and the call does not join singleflight groups. Benchmarks use
+	// it to measure the cold path on a cache-enabled index.
+	DisableCache bool
 }
 
 // bounded reports whether the options impose any cancellation or budget.
@@ -431,6 +443,16 @@ func (ix *Index) IntersectLineage(linQ lineage.DNF, opts IntersectOptions) (floa
 	if linQ.IsFalse() {
 		return 0, nil
 	}
+	cache := ix.cache
+	useCache := cache != nil && !opts.DisableCache
+	var lkey qcache.Key
+	if useCache {
+		hi, lo := linQ.Hash()
+		lkey = cacheKeyForLineage(hi, lo, opts)
+		if p, ok := cache.lineage.Get(lkey); ok {
+			return p, nil
+		}
+	}
 	qm := ix.m.NewScratch()
 	var fQ obdd.NodeID
 	if opts.bounded() {
@@ -443,7 +465,16 @@ func (ix *Index) IntersectLineage(linQ lineage.DNF, opts IntersectOptions) (floa
 	} else {
 		fQ = obdd.BuildDNF(qm, linQ)
 	}
-	return ix.intersectOn(qm, fQ, opts)
+	p, err := ix.intersectOn(qm, fQ, opts)
+	if cache != nil {
+		h, ms := qm.ApplyCacheStats()
+		cache.applyHits.Add(h)
+		cache.applyMisses.Add(ms)
+	}
+	if useCache && err == nil {
+		cache.lineage.Put(lkey, p)
+	}
+	return p, err
 }
 
 // IntersectOBDD computes P(Q) = P0(ΦQ ∧ ¬W) / P0(¬W) for a query OBDD built
@@ -587,10 +618,41 @@ func (ix *Index) ProbBoolean(q ucq.UCQ, opts IntersectOptions) (float64, error) 
 // opts.Parallelism; answer order is preserved regardless of the setting.
 // With opts.Ctx or a deadline set, cancellation is also checked between
 // answers, so a canceled query stops after the current answer.
+//
+// With the cross-query cache enabled (EnableCache), the answer set is served
+// from the cache when a canonically identical query (same up to variable
+// renaming, atom/disjunct order, and query name) was evaluated under the
+// current epoch; concurrent identical misses collapse into one evaluation
+// (singleflight). A canceled or budget-aborted evaluation is never cached,
+// and a caller whose own context expires while waiting on another caller's
+// evaluation returns its context error without disturbing the leader. The
+// returned slice is the caller's to sort or trim, but the Head tuples are
+// shared with the cache and must be treated as immutable.
 func (ix *Index) Query(q *ucq.Query, opts IntersectOptions) ([]core.Answer, error) {
 	if err := budget.Check(opts.Ctx, opts.Budget.Deadline); err != nil {
 		return nil, err
 	}
+	cache := ix.cache
+	if cache == nil || opts.DisableCache {
+		return ix.queryEval(q, opts)
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, _, err := cache.answers.Do(ctx, cacheKeyForQuery(q, opts), func() ([]core.Answer, error) {
+		return ix.queryEval(q, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The same slice may live in the cache (leader and waiter alike); hand
+	// every caller a private outer slice.
+	return copyAnswers(res), nil
+}
+
+// queryEval is the uncached evaluation behind Query.
+func (ix *Index) queryEval(q *ucq.Query, opts IntersectOptions) ([]core.Answer, error) {
 	rows, err := ucq.Eval(ix.tr.DB, q)
 	if err != nil {
 		return nil, err
@@ -662,6 +724,14 @@ func (ix *Index) Query(q *ucq.Query, opts IntersectOptions) ([]core.Answer, erro
 func (ix *Index) Reweight() {
 	ix.probs = ix.tr.DB.Probs()
 	ix.rebuild()
+	// O(1) invalidation: bump the cache epochs so every answer and lineage
+	// probability computed against the old weights becomes stale; entries
+	// are dropped lazily. Reweight already requires exclusive access, so no
+	// reader can observe the half-updated state.
+	if ix.cache != nil {
+		ix.cache.answers.Invalidate()
+		ix.cache.lineage.Invalidate()
+	}
 }
 
 // Compact rebuilds the index on a fresh OBDD manager containing only the
@@ -674,5 +744,8 @@ func (ix *Index) Compact() int {
 	ix.root = roots[0]
 	ix.tr.AttachOBDD(nm, nm.Not(ix.root))
 	ix.rebuild()
+	// Cached answers and lineage probabilities stay valid across Compact —
+	// the weights (and hence every probability) are unchanged; only NodeIDs
+	// moved, and the caches never store NodeIDs.
 	return before - nm.NumNodes()
 }

@@ -18,6 +18,13 @@ type applyCache struct {
 	keys []uint64
 	vals []NodeID
 	max  int // maximum number of entries (power of two)
+
+	// hits/misses count get outcomes. Plain counters: the cache is only
+	// consulted during node-creating operations, which the manager's
+	// concurrency contract already restricts to a single goroutine; reading
+	// them follows the same contract as other manager reads (frozen manager,
+	// or the owning goroutine).
+	hits, misses uint64
 }
 
 const (

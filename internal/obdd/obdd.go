@@ -184,6 +184,15 @@ func (m *Manager) ApplyCacheSize() int { return len(m.cache.keys) }
 // purely a memory/benchmark knob.
 func (m *Manager) ResetApplyCache() { m.cache.reset() }
 
+// ApplyCacheStats returns the apply/computed-table hit and miss counts of
+// this manager since creation. Reading them follows the manager's
+// concurrency contract: safe on a frozen manager or from the goroutine that
+// owns node creation (scratch managers accumulate their own counts; callers
+// that fan work out across scratch managers aggregate them).
+func (m *Manager) ApplyCacheStats() (hits, misses uint64) {
+	return m.cache.hits, m.cache.misses
+}
+
 // NewScratch creates an empty manager over the same variable order as m,
 // sharing m's (immutable) order tables instead of copying them — the cost is
 // a few small allocations, independent of the number of variables. The
@@ -400,8 +409,10 @@ func (m *Manager) apply(op opKind, f, g NodeID) NodeID {
 	}
 	key := applyKeyPack(op, f, g)
 	if r, ok := m.cache.get(key); ok {
+		m.cache.hits++
 		return r
 	}
+	m.cache.misses++
 	nf, ng := m.nodes[f], m.nodes[g]
 	var level int32
 	var fl, fh, gl, gh NodeID

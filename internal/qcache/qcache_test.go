@@ -1,0 +1,288 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(i int) Key { return Key{Hi: uint64(i) * 0x9e3779b97f4a7c15, Lo: uint64(i)} }
+
+func TestGetPut(t *testing.T) {
+	c := New[int](Options{}, nil)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key(1), 42)
+	v, ok := c.Get(key(1))
+	if !ok || v != 42 {
+		t.Fatalf("got %v/%v, want 42/true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// numShards entries per shard max → keys landing in one shard evict in
+	// LRU order past the cap.
+	c := New[int](Options{MaxEntries: numShards * 2, MaxBytes: -1}, nil)
+	// Collect keys that all land in shard 0.
+	var ks []Key
+	for i := 0; len(ks) < 4; i++ {
+		k := key(i)
+		if (k.Hi^k.Lo)&(numShards-1) == 0 {
+			ks = append(ks, k)
+		}
+	}
+	c.Put(ks[0], 0)
+	c.Put(ks[1], 1)
+	c.Get(ks[0]) // make ks[1] the least recently used
+	c.Put(ks[2], 2)
+	c.Put(ks[3], 3) // shard cap is 2: ks[1] then ks[0] evicted
+	if _, ok := c.Get(ks[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(ks[3]); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if ev := c.Stats().Evictions; ev == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestByteCapEviction(t *testing.T) {
+	c := New[string](Options{MaxEntries: -1, MaxBytes: numShards * 10}, func(s string) int64 { return int64(len(s)) })
+	var ks []Key
+	for i := 0; len(ks) < 3; i++ {
+		k := key(i)
+		if (k.Hi^k.Lo)&(numShards-1) == 0 {
+			ks = append(ks, k)
+		}
+	}
+	c.Put(ks[0], "aaaaaaaa") // 8 bytes
+	c.Put(ks[1], "bbbbbbbb") // 16 > 10: ks[0] evicted
+	if _, ok := c.Get(ks[0]); ok {
+		t.Fatal("byte cap did not evict")
+	}
+	if _, ok := c.Get(ks[1]); !ok {
+		t.Fatal("newest entry evicted instead")
+	}
+	// A single oversized entry stays (the cache never evicts its last entry
+	// on bytes alone, so a one-off huge value still caches).
+	c.Put(ks[2], "cccccccccccccccccccccccc")
+	if _, ok := c.Get(ks[2]); !ok {
+		t.Fatal("oversized entry not kept")
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New[int](Options{}, nil)
+	c.Put(key(1), 1)
+	c.Invalidate()
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("stale entry served after Invalidate")
+	}
+	c.Put(key(1), 2)
+	if v, ok := c.Get(key(1)); !ok || v != 2 {
+		t.Fatalf("fresh entry after invalidation: %v/%v", v, ok)
+	}
+}
+
+// TestMidFlightInvalidation: a computation that started before Invalidate
+// must not be cached — its result reflects the pre-mutation state.
+func TestMidFlightInvalidation(t *testing.T) {
+	c := New[int](Options{}, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(context.Background(), key(1), func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	c.Invalidate() // the "Reweight" lands mid-computation
+	close(release)
+	<-done
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("stale-on-arrival result was cached")
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New[int](Options{}, nil)
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), key(7), func() (int, error) {
+				calls.Add(1)
+				<-gate
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the goroutines pile up on the flight, then release the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+	if co := c.Stats().Coalesced; co != n-1 {
+		t.Fatalf("coalesced = %d, want %d", co, n-1)
+	}
+}
+
+// TestDoLeaderErrorWakesWaiters: a failing leader caches nothing and the
+// waiters retry with their own fn — the abort does not propagate.
+func TestDoLeaderErrorWakesWaiters(t *testing.T) {
+	c := New[int](Options{}, nil)
+	boom := errors.New("boom")
+	leaderIn := make(chan struct{})
+	leaderOut := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key(3), func() (int, error) {
+			close(leaderIn)
+			<-leaderOut
+			return 0, boom
+		})
+	}()
+	<-leaderIn
+	waiter := make(chan int, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), key(3), func() (int, error) { return 7, nil })
+		if err != nil {
+			t.Errorf("waiter failed with the leader's error: %v", err)
+		}
+		waiter <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter join the flight
+	close(leaderOut)
+	if v := <-waiter; v != 7 {
+		t.Fatalf("waiter got %d, want its own computation's 7", v)
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("waiter's successful retry was not cached")
+	}
+}
+
+// TestDoWaiterCancel: a canceled waiter returns its context error immediately
+// while the leader keeps going and still caches.
+func TestDoWaiterCancel(t *testing.T) {
+	c := New[int](Options{}, nil)
+	leaderIn := make(chan struct{})
+	leaderOut := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(context.Background(), key(5), func() (int, error) {
+			close(leaderIn)
+			<-leaderOut
+			return 5, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, key(5), func() (int, error) { return 0, nil })
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	close(leaderOut)
+	<-leaderDone
+	if v, ok := c.Get(key(5)); !ok || v != 5 {
+		t.Fatal("leader's result lost after a waiter canceled")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := New[int](Options{Disable: true}, nil)
+	c.Put(key(1), 1)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+	v, shared, err := c.Do(context.Background(), key(1), func() (int, error) { return 9, nil })
+	if err != nil || shared || v != 9 {
+		t.Fatalf("disabled Do: %v %v %v", v, shared, err)
+	}
+	var nilC *Cache[int]
+	if _, ok := nilC.Get(key(1)); ok {
+		t.Fatal("nil cache hit")
+	}
+	nilC.Put(key(1), 1)
+	nilC.Invalidate()
+	if st := nilC.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+	if v, _, err := nilC.Do(context.Background(), key(1), func() (int, error) { return 3, nil }); err != nil || v != 3 {
+		t.Fatalf("nil Do: %v %v", v, err)
+	}
+}
+
+// TestConcurrentHammer drives every operation from many goroutines at once —
+// meaningful under -race.
+func TestConcurrentHammer(t *testing.T) {
+	c := New[int](Options{MaxEntries: 64, MaxBytes: -1}, nil)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(i % 97)
+				switch i % 5 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Do(ctx, k, func() (int, error) { return i, nil })
+				case 3:
+					if i%50 == 0 {
+						c.Invalidate()
+					}
+					c.Get(k)
+				case 4:
+					c.Do(ctx, k, func() (int, error) { return 0, fmt.Errorf("e%d", i) })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Stats()
+}

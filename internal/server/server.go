@@ -41,6 +41,7 @@ import (
 	"mvdb/internal/budget"
 	"mvdb/internal/core"
 	"mvdb/internal/mvindex"
+	"mvdb/internal/qcache"
 	"mvdb/internal/ucq"
 )
 
@@ -61,6 +62,10 @@ type Config struct {
 	// Budget bounds each evaluation's resources (OBDD nodes, intersection
 	// pairs); a violation returns 503 with reason "budget".
 	Budget budget.Budget
+	// Cache bounds the cross-query answer/lineage cache installed on the
+	// index at construction. The zero value enables it with defaults; set
+	// Cache.Disable to serve uncached.
+	Cache qcache.Options
 	// Logger receives panic reports and write failures; nil means
 	// log.Default().
 	Logger *log.Logger
@@ -88,6 +93,10 @@ func New(ix *mvindex.Index) *Server { return NewWith(ix, Config{}) }
 // NewWith builds a server around a compiled index with explicit bounds.
 func NewWith(ix *mvindex.Index, cfg Config) *Server {
 	s := &Server{ix: ix, mux: http.NewServeMux(), cfg: cfg}
+	// Serving is a repeated-workload setting, so the cross-query cache is on
+	// by default; construction has exclusive access to the index, which
+	// EnableCache (a mutating call) requires.
+	ix.EnableCache(cfg.Cache)
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -368,6 +377,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"manager_nodes":  s.ix.Manager().NumNodes(),
 		"pruned_indep":   tr.PrunedIndependent,
 		"has_constraint": tr.HasConstraints(),
+		"cache":          s.ix.CacheStats(),
 	}
 	s.writeJSON(w, out)
 }

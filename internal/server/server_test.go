@@ -13,6 +13,7 @@ import (
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
 	"mvdb/internal/mvindex"
+	"mvdb/internal/qcache"
 	"mvdb/internal/ucq"
 )
 
@@ -266,5 +267,75 @@ func TestConcurrentQueryHammer(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Error(e)
+	}
+}
+
+// TestCacheServesRepeatedQueries: the server installs the cross-query cache
+// by default — an identical (even alpha-renamed) second query must be a cache
+// hit with identical answers, and /stats must expose the counters.
+func TestCacheServesRepeatedQueries(t *testing.T) {
+	s, _ := testServer(t)
+	rec1, out1 := do(t, s, "POST", "/query", `{"query": "Q(a) :- Adv(1,a)"}`)
+	if rec1.Code != http.StatusOK {
+		t.Fatalf("first query: %d %s", rec1.Code, rec1.Body)
+	}
+	// Renamed spelling of the same query: must share the fingerprint.
+	rec2, out2 := do(t, s, "POST", "/query", `{"query": "Other(x) :- Adv(1,x)"}`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second query: %d %s", rec2.Code, rec2.Body)
+	}
+	a1, _ := json.Marshal(out1["answers"])
+	a2, _ := json.Marshal(out2["answers"])
+	if string(a1) != string(a2) {
+		t.Fatalf("cached answers diverged:\n%s\n%s", a1, a2)
+	}
+	rec, stats := do(t, s, "GET", "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats: %d", rec.Code)
+	}
+	cache, ok := stats["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no cache section in /stats: %v", stats)
+	}
+	if cache["enabled"] != true {
+		t.Fatalf("cache not enabled by default: %v", cache)
+	}
+	answers := cache["answers"].(map[string]any)
+	if answers["hits"].(float64) < 1 {
+		t.Fatalf("second query did not hit: %v", answers)
+	}
+	if answers["misses"].(float64) < 1 {
+		t.Fatalf("first query did not miss: %v", answers)
+	}
+}
+
+// TestCacheDisabledByConfig: Config.Cache.Disable serves uncached.
+func TestCacheDisabledByConfig(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	db.MustInsert("Adv", 2.0, engine.Int(1), engine.Int(10))
+	m := core.New(db)
+	v, err := core.ParseView("V(s) :- Adv(s,a)", core.ConstWeight(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Translate(core.TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := mvindex.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWith(ix, Config{Cache: qcache.Options{Disable: true}})
+	do(t, s, "POST", "/query", `{"query": "Q(a) :- Adv(1,a)"}`)
+	do(t, s, "POST", "/query", `{"query": "Q(a) :- Adv(1,a)"}`)
+	_, stats := do(t, s, "GET", "/stats", "")
+	cache := stats["cache"].(map[string]any)
+	if cache["enabled"] != false {
+		t.Fatalf("cache should be disabled: %v", cache)
 	}
 }
