@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,parallel,cache,madden,ablate-entry,methods,marginals,exactness or all")
+		exp         = flag.String("exp", "all", "experiment id: fig1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,parallel,cache,update,madden,ablate-entry,methods,marginals,exactness or all")
 		domains     = flag.String("domains", "", "comma-separated aid-domain sweep (default 1000..10000)")
 		full        = flag.Int("full", 0, "full-dataset author count for fig10/fig11/madden")
 		seed        = flag.Int64("seed", 1, "generator seed")
@@ -38,6 +38,7 @@ func main() {
 		parJSON     = flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON report (empty to skip)")
 		useCache    = flag.Bool("cache", true, "run the cached leg of the cache experiment (false = baseline-only ablation)")
 		cacheJSON   = flag.String("cache-json", "BENCH_cache.json", "file for the cache experiment's JSON report (empty to skip)")
+		updateJSON  = flag.String("update-json", "BENCH_update.json", "file for the update experiment's JSON report (empty to skip)")
 		timeout     = flag.Duration("timeout", 0, "watchdog per experiment (0 = none); a stuck experiment aborts the run with exit 1")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -161,10 +162,26 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "mvbench: wrote %s\n", *cacheJSON)
 		}
+		if id == "update" && *updateJSON != "" {
+			f, err := os.Create(*updateJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteUpdateJSON(f, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mvbench: wrote %s\n", *updateJSON)
+		}
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "cache", "madden", "ablate-entry", "methods", "marginals", "exactness"} {
+		for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "cache", "update", "madden", "ablate-entry", "methods", "marginals", "exactness"} {
 			run(id)
 		}
 		return

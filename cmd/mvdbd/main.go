@@ -14,6 +14,15 @@
 // on exhaustion), -max-inflight sheds excess load (503 + Retry-After), and
 // SIGINT/SIGTERM drain in-flight requests before exiting 0. /healthz reports
 // liveness, /readyz readiness (503 while draining).
+//
+// With -wal-dir the server becomes mutable: POST /update and POST /reweight
+// apply WAL-logged mutation batches to the index incrementally, a background
+// snapshotter (-snapshot-interval) persists the index and truncates the log,
+// and on restart the server recovers from the latest snapshot plus the WAL
+// tail — so acknowledged mutations survive crashes. The drain on
+// SIGINT/SIGTERM flushes the WAL and takes a final snapshot.
+//
+//	mvdbd -authors 2000 -wal-dir /var/lib/mvdb/wal -addr :8080
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -53,33 +63,58 @@ func main() {
 		cache        = flag.Bool("cache", true, "cross-query answer/lineage cache on the serving path")
 		cacheEntries = flag.Int("cache-entries", 0, "answer-cache entry cap (0 = default, negative = unlimited)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "answer-cache byte cap (0 = default, negative = unlimited)")
+
+		walDir       = flag.String("wal-dir", "", "enable the live-update write path: directory for the write-ahead log")
+		snapPath     = flag.String("snapshot", "", "index snapshot path for recovery and WAL truncation (default <wal-dir>/index.snap)")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (0 = snapshot only on shutdown)")
+		groupCommit  = flag.Duration("group-commit", 2*time.Millisecond, "WAL group-commit window; concurrent updates share one fsync (0 = fsync per batch)")
 	)
 	flag.Parse()
 
+	// build produces the index when no usable snapshot exists. With a WAL it
+	// doubles as the recovery base, so it must be deterministic in the flags:
+	// either the saved index file or the seeded DBLP generator.
+	build := func() (*mvindex.Index, error) {
+		if *loadIndex != "" {
+			fmt.Fprintf(os.Stderr, "loading MV-index from %s...\n", *loadIndex)
+			return mvindex.LoadFile(*loadIndex)
+		}
+		fmt.Fprintf(os.Stderr, "generating synthetic DBLP (%d authors)...\n", *authors)
+		data, err := dblp.Generate(dblp.Config{NumAuthors: *authors, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		m, err := data.MVDB()
+		if err != nil {
+			return nil, err
+		}
+		tr, err := m.Translate(core.TranslateOptions{})
+		if err != nil {
+			return nil, err
+		}
+		tr.Parallelism = *par
+		return mvindex.Build(tr)
+	}
+
 	var (
-		ix  *mvindex.Index
-		err error
+		ix   *mvindex.Index
+		live *server.Live
+		err  error
 	)
 	t0 := time.Now()
-	if *loadIndex != "" {
-		fmt.Fprintf(os.Stderr, "loading MV-index from %s...\n", *loadIndex)
-		ix, err = mvindex.LoadFile(*loadIndex)
-	} else {
-		fmt.Fprintf(os.Stderr, "generating synthetic DBLP (%d authors)...\n", *authors)
-		var data *dblp.Dataset
-		data, err = dblp.Generate(dblp.Config{NumAuthors: *authors, Seed: *seed})
-		if err == nil {
-			var m *core.MVDB
-			m, err = data.MVDB()
-			if err == nil {
-				var tr *core.Translation
-				tr, err = m.Translate(core.TranslateOptions{})
-				if err == nil {
-					tr.Parallelism = *par
-					ix, err = mvindex.Build(tr)
-				}
-			}
+	if *walDir != "" {
+		sp := *snapPath
+		if sp == "" {
+			sp = filepath.Join(*walDir, "index.snap")
 		}
+		ix, live, err = server.OpenLive(server.LiveConfig{
+			WALDir:           *walDir,
+			SnapshotPath:     sp,
+			SnapshotInterval: *snapInterval,
+			GroupCommit:      *groupCommit,
+		}, build)
+	} else {
+		ix, err = build()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvdbd:", err)
@@ -93,6 +128,9 @@ func main() {
 		Budget:       budget.Budget{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
 		Cache:        qcache.Options{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, Disable: !*cache},
 	})
+	if live != nil {
+		h.EnableLive(live)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -123,6 +161,14 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "mvdbd: shutdown:", err)
 		os.Exit(1)
+	}
+	if live != nil {
+		// Flush the WAL and take the final snapshot after HTTP shutdown, so
+		// no update races the close.
+		if err := live.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvdbd: closing live state:", err)
+			os.Exit(1)
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "mvdbd:", err)

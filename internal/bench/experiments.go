@@ -467,6 +467,7 @@ func ByID(id string) (func(Options) (*Table, error), bool) {
 		"fig11":        Fig11AffiliationQueries,
 		"parallel":     ParallelCompileQuery,
 		"cache":        CacheServing,
+		"update":       UpdateMaintenance,
 		"madden":       Madden,
 		"ablate-entry": AblationEntryShortcut,
 		"methods":      MethodsCompare,

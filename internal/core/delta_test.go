@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvdb/internal/engine"
+)
+
+// deltaMVDB builds a fixture exercising every translation rule the delta
+// path must mirror: a table-weighted view with pruned (weight-1), hard
+// (weight-0) and ordinary heads; a pure denial view with an all-zero weight
+// table; and a deterministic relation.
+func deltaMVDB(seed int64) *MVDB {
+	rng := rand.New(rand.NewSource(seed))
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	db.MustCreateRelation("Det", true, "x")
+	for s := int64(1); s <= 5; s++ {
+		for a := int64(100); a < 100+2+rng.Int63n(3); a++ {
+			db.MustInsert("Adv", 0.2+2*rng.Float64(), engine.Int(s), engine.Int(a))
+		}
+	}
+	db.MustInsertDet("Det", engine.Int(1))
+	m := New(db)
+
+	v, err := ParseView("V(s) :- Adv(s,a)", nil)
+	if err != nil {
+		panic(err)
+	}
+	wt := &WeightTable{Default: 2.5}
+	wt.Set([]engine.Value{engine.Int(2)}, 1) // pruned (unconstrained)
+	wt.Set([]engine.Value{engine.Int(3)}, 0) // hard constraint
+	wt.Set([]engine.Value{engine.Int(4)}, 0.4)
+	v.Weights = wt
+	if err := m.AddView(v); err != nil {
+		panic(err)
+	}
+
+	d, err := ParseView("D(s,a,b) :- Adv(s,a), Adv(s,b), a <> b", nil)
+	if err != nil {
+		panic(err)
+	}
+	d.Weights = &WeightTable{Default: 0}
+	if err := m.AddView(d); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// sameTranslatedDB compares two translated databases tuple for tuple,
+// including weights (the NV weight arithmetic is identical on both paths, so
+// exact equality is expected for finite weights).
+func sameTranslatedDB(a, b *engine.Database) error {
+	rels := map[string]bool{}
+	for _, n := range a.Relations() {
+		rels[n] = true
+	}
+	for _, n := range b.Relations() {
+		rels[n] = true
+	}
+	for n := range rels {
+		ra, rb := a.Relation(n), b.Relation(n)
+		if ra == nil || rb == nil {
+			return fmt.Errorf("relation %s present in only one database", n)
+		}
+		if len(ra.Tuples) != len(rb.Tuples) {
+			return fmt.Errorf("relation %s: %d vs %d tuples", n, len(ra.Tuples), len(rb.Tuples))
+		}
+		for _, t := range ra.Tuples {
+			i := rb.Lookup(t.Vals)
+			if i < 0 {
+				return fmt.Errorf("relation %s: tuple %s missing", n, engine.FormatTuple(t.Vals))
+			}
+			w2 := rb.Tuples[i].Weight
+			if t.Weight != w2 && !(math.IsInf(t.Weight, 1) && math.IsInf(w2, 1)) {
+				return fmt.Errorf("relation %s %s: weight %v vs %v", n, engine.FormatTuple(t.Vals), t.Weight, w2)
+			}
+		}
+	}
+	return nil
+}
+
+// TestApplyDeltaProperty: over random chains of structural batches, the
+// delta-maintained translated database is tuple-for-tuple identical to a
+// full re-translation of the mutated source, and the returned changed list
+// names every presence difference from the previous translated database.
+func TestApplyDeltaProperty(t *testing.T) {
+	rounds := 8
+	if testing.Short() {
+		rounds = 3
+	}
+	deltas, fallbacks := 0, 0
+	for seed := int64(0); seed < int64(rounds); seed++ {
+		rng := rand.New(rand.NewSource(700 + seed))
+		m := deltaMVDB(seed)
+		tr, err := m.Translate(TranslateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batchNo := 0; batchNo < 8; batchNo++ {
+			batch := randDeltaBatch(rng, tr.Source.DB)
+			if err := tr.Source.ValidateBatch(batch); err != nil {
+				t.Fatalf("seed %d batch %d invalid: %v", seed, batchNo, err)
+			}
+			// Full-translation reference over an independently mutated clone.
+			work := &MVDB{DB: tr.Source.DB.Clone(), Views: tr.Source.Views}
+			if err := work.Apply(batch); err != nil {
+				t.Fatal(err)
+			}
+			full, err := work.Translate(tr.Opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevDB := tr.DB.Clone()
+			changed, err := tr.ApplyDelta(batch)
+			if errors.Is(err, ErrDeltaFallback) {
+				fallbacks++
+				tr = full
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d batch %d (%v): %v", seed, batchNo, batch, err)
+			}
+			deltas++
+			if err := sameTranslatedDB(tr.DB, full.DB); err != nil {
+				t.Fatalf("seed %d batch %d (%v): delta vs full translation: %v", seed, batchNo, batch, err)
+			}
+			// The changed list must cover the presence diff between the old
+			// and new translated databases (it may legitimately include
+			// extras, e.g. an insert+delete of the same tuple in one batch).
+			have := map[string]bool{}
+			for _, c := range changed {
+				have[c.Rel+"\x00"+engine.TupleKey(c.Vals)] = true
+			}
+			for _, diff := range presenceDiff(prevDB, tr.DB) {
+				if !have[diff] {
+					t.Fatalf("seed %d batch %d: changed list misses %q", seed, batchNo, diff)
+				}
+			}
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("every batch fell back; the delta path went untested")
+	}
+	t.Logf("delta batches: %d, fallbacks: %d", deltas, fallbacks)
+}
+
+func randDeltaBatch(rng *rand.Rand, db *engine.Database) []Mutation {
+	exists := map[string]bool{}
+	has := func(vals []engine.Value) bool {
+		k := engine.TupleKey(vals)
+		if v, ok := exists[k]; ok {
+			return v
+		}
+		return db.HasTuple("Adv", vals)
+	}
+	var batch []Mutation
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		vals := []engine.Value{
+			engine.Int(1 + rng.Int63n(6)),
+			engine.Int(100 + rng.Int63n(8)),
+		}
+		switch op := rng.Intn(3); {
+		case op == 0 && has(vals):
+			batch = append(batch, Mutation{Op: MutDelete, Rel: "Adv", Vals: vals})
+			exists[engine.TupleKey(vals)] = false
+		case op != 0 && has(vals):
+			batch = append(batch, Mutation{Op: MutReweight, Rel: "Adv", Vals: vals, Weight: 0.1 + 2*rng.Float64()})
+		default:
+			batch = append(batch, Mutation{Op: MutInsert, Rel: "Adv", Vals: vals, Weight: 0.1 + 2*rng.Float64()})
+			exists[engine.TupleKey(vals)] = true
+		}
+	}
+	return batch
+}
+
+func presenceDiff(a, b *engine.Database) []string {
+	var out []string
+	one := func(x, y *engine.Database) {
+		for _, n := range x.Relations() {
+			ry := y.Relation(n)
+			for _, t := range x.Relation(n).Tuples {
+				if ry == nil || ry.Lookup(t.Vals) < 0 {
+					out = append(out, n+"\x00"+engine.TupleKey(t.Vals))
+				}
+			}
+		}
+	}
+	one(a, b)
+	one(b, a)
+	return out
+}
+
+// TestApplyDeltaFallbacks: batches that could change W's shape must be
+// refused by the read-only preflight — nothing mutated, not silently
+// mistranslated.
+func TestApplyDeltaFallbacks(t *testing.T) {
+	requireCleanFallback := func(t *testing.T, tr *Translation, batch []Mutation) {
+		t.Helper()
+		before := tr.Source.DB.Clone()
+		_, err := tr.ApplyDelta(batch)
+		if !errors.Is(err, ErrDeltaFallback) {
+			t.Fatalf("want ErrDeltaFallback, got %v", err)
+		}
+		if err := sameTranslatedDB(before, tr.Source.DB); err != nil {
+			t.Fatalf("preflight fallback mutated the source: %v", err)
+		}
+	}
+
+	t.Run("negated relation mutated", func(t *testing.T) {
+		db := engine.NewDatabase()
+		db.MustCreateRelation("R", false, "x")
+		db.MustCreateRelation("Blocked", true, "x")
+		db.MustInsert("R", 2, engine.Int(1))
+		m := New(db)
+		v, _ := ParseView("V(x) :- R(x), not Blocked(x)", nil)
+		v.Weights = &WeightTable{Default: 3}
+		if err := m.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := m.Translate(TranslateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireCleanFallback(t, tr, []Mutation{
+			{Op: MutInsert, Rel: "Blocked", Vals: []engine.Value{engine.Int(1)}},
+		})
+	})
+
+	t.Run("view without NV tuples touched", func(t *testing.T) {
+		db := engine.NewDatabase()
+		db.MustCreateRelation("R", false, "x")
+		db.MustInsert("R", 2, engine.Int(1))
+		m := New(db)
+		v, _ := ParseView("V(x) :- R(x)", nil)
+		// Every current head has weight 1 → the view is fully pruned at
+		// translate time; a new head would be constrained.
+		wt := &WeightTable{Default: 0.5}
+		wt.Set([]engine.Value{engine.Int(1)}, 1)
+		v.Weights = wt
+		if err := m.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := m.Translate(TranslateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireCleanFallback(t, tr, []Mutation{
+			{Op: MutInsert, Rel: "R", Vals: []engine.Value{engine.Int(2)}, Weight: 1.5},
+		})
+	})
+
+	t.Run("denial view with non-zero weights touched", func(t *testing.T) {
+		db := engine.NewDatabase()
+		db.MustCreateRelation("Adv", false, "s", "a")
+		db.MustInsert("Adv", 2, engine.Int(1), engine.Int(100))
+		m := New(db)
+		v, _ := ParseView("D(s,a,b) :- Adv(s,a), Adv(s,b), a <> b", nil)
+		wt := &WeightTable{Default: 0}
+		wt.Set([]engine.Value{engine.Int(1), engine.Int(100), engine.Int(101)}, 0.5)
+		v.Weights = wt
+		if err := m.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := m.Translate(TranslateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireCleanFallback(t, tr, []Mutation{
+			{Op: MutInsert, Rel: "Adv", Vals: []engine.Value{engine.Int(1), engine.Int(101)}, Weight: 1.5},
+		})
+	})
+}

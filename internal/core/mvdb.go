@@ -27,12 +27,24 @@ func ConstWeight(w float64) WeightFn {
 }
 
 // MarkoView is a weighted UCQ view over the probabilistic and deterministic
-// tables (Definition 3).
+// tables (Definition 3). Weights are given either as a closure (Weight) or
+// as a serializable WeightTable (Weights); when both are set the table wins.
+// Only table-weighted views survive MVDB snapshots.
 type MarkoView struct {
-	Name   string
-	Head   []string
-	Def    ucq.UCQ
-	Weight WeightFn
+	Name    string
+	Head    []string
+	Def     ucq.UCQ
+	Weight  WeightFn
+	Weights *WeightTable
+}
+
+// WeightOf resolves the view's weight for one head tuple, preferring the
+// serializable table over the closure.
+func (v *MarkoView) WeightOf(head []engine.Value) float64 {
+	if v.Weights != nil {
+		return v.Weights.Weight(head)
+	}
+	return v.Weight(head)
 }
 
 // MVDB is a probabilistic database together with its MarkoViews.
@@ -59,7 +71,7 @@ func (m *MVDB) AddView(v *MarkoView) error {
 	if m.DB.Relation(v.Name) != nil {
 		return fmt.Errorf("core: view %s clashes with a relation name", v.Name)
 	}
-	if v.Weight == nil {
+	if v.Weight == nil && v.Weights == nil {
 		return fmt.Errorf("core: view %s has no weight function", v.Name)
 	}
 	q := &ucq.Query{Name: v.Name, Head: v.Head, UCQ: v.Def}
@@ -111,7 +123,7 @@ func (m *MVDB) Materialize() ([]ViewTuple, error) {
 			return nil, fmt.Errorf("core: materializing view %s: %w", v.Name, err)
 		}
 		for _, r := range rows {
-			w := v.Weight(r.Head)
+			w := v.WeightOf(r.Head)
 			if math.IsNaN(w) || w < 0 {
 				return nil, fmt.Errorf("core: view %s assigns invalid weight %v to %s",
 					v.Name, w, engine.FormatTuple(r.Head))

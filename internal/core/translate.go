@@ -42,8 +42,40 @@ type Translation struct {
 	DenialViews       []string // views handled by the denial optimization
 
 	nvSet map[string]bool
+	opts  TranslateOptions // options Translate was called with (for re-translation)
 	obdd  *obddState
 	qc    *answerCache // optional cross-query answer cache, see EnableCache
+}
+
+// Opts returns the options the translation was built with (defaults filled
+// in), so a mutated source MVDB can be re-translated identically.
+func (t *Translation) Opts() TranslateOptions { return t.opts }
+
+// Retranslate re-runs the Definition 5 translation against the (possibly
+// mutated) source MVDB with the original options, carrying the Parallelism
+// knob over. It errors on restored translations whose Source is gone.
+func (t *Translation) Retranslate() (*Translation, error) {
+	if t.Source == nil {
+		return nil, fmt.Errorf("core: translation has no source MVDB (restored from a v1 snapshot?)")
+	}
+	nt, err := t.Source.Translate(t.opts)
+	if err != nil {
+		return nil, err
+	}
+	nt.Parallelism = t.Parallelism
+	return nt, nil
+}
+
+// SetSource reattaches a source MVDB and the translate options to a restored
+// translation, re-enabling Retranslate (and with it live mutation) after a
+// snapshot round-trip. The caller asserts that the translation was built from
+// this MVDB with these options.
+func (t *Translation) SetSource(src *MVDB, opts TranslateOptions) {
+	if opts.NVPrefix == "" {
+		opts.NVPrefix = "NV_"
+	}
+	t.Source = src
+	t.opts = opts
 }
 
 // Translate builds the associated INDB (Definition 5): every table of the
@@ -67,6 +99,7 @@ func (m *MVDB) Translate(opts TranslateOptions) (*Translation, error) {
 		Source: m,
 		DB:     m.DB.Clone(),
 		nvSet:  map[string]bool{},
+		opts:   opts,
 	}
 	for _, v := range m.Views {
 		vts := byView[v.Name]

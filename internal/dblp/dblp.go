@@ -310,6 +310,32 @@ func (d *Dataset) buildViews() {
 			return float64(c) / 5
 		},
 	}
+
+	// Freeze the closure weights into serializable WeightTables by
+	// enumerating each view's materialized heads: the per-head values are
+	// identical to the closures by construction, and the tables survive
+	// snapshot/restore, which the live-update write path requires. The
+	// Default of 1 applies only to heads first materialized by live
+	// mutations — weight 1 means unconstrained (the translation prunes such
+	// tuples), the conservative reading for pairs with no recorded co-pub
+	// counts. V2 is a pure denial view: every head, present or future,
+	// weighs 0.
+	for _, v := range []*core.MarkoView{d.V1, d.V3} {
+		tmp := core.New(d.DB)
+		if err := tmp.AddView(v); err != nil {
+			panic(err) // names are fixed above; cannot clash
+		}
+		vts, err := tmp.Materialize()
+		if err != nil {
+			panic(err) // generator weights are finite and non-negative
+		}
+		wt := &core.WeightTable{Default: 1}
+		for _, vt := range vts {
+			wt.Set(vt.Head, vt.Weight)
+		}
+		v.Weights, v.Weight = wt, nil
+	}
+	d.V2.Weights, d.V2.Weight = &core.WeightTable{Default: 0}, nil
 }
 
 func instName(i int64) string { return fmt.Sprintf("u%d.edu", i) }

@@ -123,10 +123,14 @@ func (db *Database) MustInsertDet(rel string, vals ...Value) {
 // NumVars returns the number of Boolean variables (probabilistic tuples).
 func (db *Database) NumVars() int { return len(db.vars) }
 
-// VarRef returns the location of variable v.
+// VarRef returns the location of variable v. Variables tombstoned by
+// DeleteTuple are reported as errors: their tuples no longer exist.
 func (db *Database) VarRef(v int) (VarRef, error) {
 	if v < 1 || v > len(db.vars) {
 		return VarRef{}, fmt.Errorf("engine: variable %d out of range", v)
+	}
+	if db.vars[v-1].Dead() {
+		return VarRef{}, fmt.Errorf("engine: variable %d refers to a deleted tuple", v)
 	}
 	return db.vars[v-1], nil
 }
@@ -140,15 +144,24 @@ func (db *Database) VarTuple(v int) (rel string, t Tuple, err error) {
 	return ref.Rel, db.rels[ref.Rel].Tuples[ref.Pos], nil
 }
 
-// Weight returns the weight (odds) of variable v.
+// Weight returns the weight (odds) of variable v. A tombstoned variable has
+// weight 0: odds 0 pins the tuple false in every world, which is exactly
+// "deleted".
 func (db *Database) Weight(v int) float64 {
 	ref := db.vars[v-1]
+	if ref.Dead() {
+		return 0
+	}
 	return db.rels[ref.Rel].Tuples[ref.Pos].Weight
 }
 
-// SetWeight overrides the weight of variable v.
+// SetWeight overrides the weight of variable v; a no-op for tombstoned
+// variables.
 func (db *Database) SetWeight(v int, w float64) {
 	ref := db.vars[v-1]
+	if ref.Dead() {
+		return
+	}
 	db.rels[ref.Rel].Tuples[ref.Pos].Weight = w
 }
 

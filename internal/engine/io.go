@@ -52,6 +52,9 @@ func FromSnapshot(s DatabaseSnapshot) (*Database, error) {
 	}
 	db.vars = s.Vars
 	for i, ref := range db.vars {
+		if ref.Dead() {
+			continue // tombstone of a deleted tuple
+		}
 		rel := db.rels[ref.Rel]
 		if rel == nil || ref.Pos < 0 || ref.Pos >= len(rel.Tuples) {
 			return nil, fmt.Errorf("engine: variable %d references missing tuple %s[%d]", i+1, ref.Rel, ref.Pos)

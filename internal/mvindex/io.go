@@ -17,19 +17,42 @@ import (
 // (probUnder, reachability, chain blocks, indices, CC layout) is recomputed
 // on load — it is linear in the index size and depends on the tuple
 // weights, which keeps saved indexes valid under Reweight-style workflows.
+//
+// Version 2 adds the live-update state: the source MVDB (base database plus
+// WeightTable-backed view definitions) and the translate options, so a
+// restored index supports ApplyMutations, and LastSeq, the WAL sequence
+// number the snapshot covers, so recovery replays only the log tail. The
+// block record of the incremental compiler is NOT serialized — the first
+// structural batch after a restore recompiles in full and re-records.
+// Version 1 snapshots still load (query-only: no source, LastSeq 0).
 type indexSnapshot struct {
 	Magic       string
 	DB          engine.DatabaseSnapshot
 	Translation core.TranslationSnapshot
 	Manager     obdd.Snapshot
 	Root        int32
+
+	// v2 fields; zero on v1 snapshots.
+	HasSource bool
+	Source    core.MVDBSnapshot
+	Opts      core.TranslateOptions
+	LastSeq   uint64
 }
 
-const snapshotMagic = "mvindex-v1"
+const (
+	snapshotMagicV1 = "mvindex-v1"
+	snapshotMagic   = "mvindex-v2"
+)
 
-// Save serializes the index (including the translated database) as one
-// gob message.
-func (ix *Index) Save(w io.Writer) error {
+// Save serializes the index (including the translated database) as one gob
+// message, equivalent to SaveSeq with sequence number 0.
+func (ix *Index) Save(w io.Writer) error { return ix.SaveSeq(w, 0) }
+
+// SaveSeq serializes the index together with the WAL sequence number the
+// snapshot covers. When the index carries a snapshotable source MVDB
+// (WeightTable-backed views), it is included so the restored index supports
+// mutations; closure-weighted sources degrade to a query-only snapshot.
+func (ix *Index) SaveSeq(w io.Writer, lastSeq uint64) error {
 	bw := bufio.NewWriter(w)
 	s := indexSnapshot{
 		Magic:       snapshotMagic,
@@ -37,6 +60,14 @@ func (ix *Index) Save(w io.Writer) error {
 		Translation: ix.tr.Snapshot(),
 		Manager:     ix.m.Snapshot(),
 		Root:        int32(ix.root),
+		Opts:        ix.tr.Opts(),
+		LastSeq:     lastSeq,
+	}
+	if src := ix.tr.Source; src != nil {
+		if ms, err := src.Snapshot(); err == nil {
+			s.HasSource = true
+			s.Source = ms
+		}
 	}
 	if err := gob.NewEncoder(bw).Encode(s); err != nil {
 		return fmt.Errorf("mvindex: encoding index: %w", err)
@@ -44,57 +75,99 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserializes an index written by Save. The returned index is
-// fully functional: the inner translation is restored and its OBDD of W is
-// attached, so no recompilation happens.
+// Read deserializes an index written by Save, discarding the sequence number.
 func Read(r io.Reader) (*Index, error) {
+	ix, _, err := ReadSeq(r)
+	return ix, err
+}
+
+// ReadSeq deserializes an index written by Save/SaveSeq and returns the WAL
+// sequence number the snapshot covers. The returned index is fully
+// functional: the inner translation is restored and its OBDD of W is
+// attached, so no recompilation happens; with a v2 source the index also
+// accepts ApplyMutations.
+func ReadSeq(r io.Reader) (*Index, uint64, error) {
 	var s indexSnapshot
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
-		return nil, fmt.Errorf("mvindex: decoding index: %w", err)
+		return nil, 0, fmt.Errorf("mvindex: decoding index: %w", err)
 	}
-	if s.Magic != snapshotMagic {
-		return nil, fmt.Errorf("mvindex: bad snapshot magic %q", s.Magic)
+	if s.Magic != snapshotMagic && s.Magic != snapshotMagicV1 {
+		return nil, 0, fmt.Errorf("mvindex: bad snapshot magic %q", s.Magic)
 	}
 	db, err := engine.FromSnapshot(s.DB)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	tr, err := core.RestoreTranslation(db, s.Translation)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if s.HasSource {
+		src, err := core.RestoreMVDB(s.Source)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mvindex: restoring source MVDB: %w", err)
+		}
+		tr.SetSource(src, s.Opts)
 	}
 	m, err := obdd.Restore(s.Manager)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	root := obdd.NodeID(s.Root)
 	if root < 0 || int(root) >= m.NumNodes() {
-		return nil, fmt.Errorf("mvindex: snapshot root %d out of range", root)
+		return nil, 0, fmt.Errorf("mvindex: snapshot root %d out of range", root)
 	}
 	// ¬W's root is stored; W = ¬¬W.
 	tr.AttachOBDD(m, m.Not(root))
-	return Build(tr)
+	ix, err := Build(tr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ix, s.LastSeq, nil
 }
 
 // SaveFile writes the index to a file.
-func (ix *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
+func (ix *Index) SaveFile(path string) error { return ix.SaveFileSeq(path, 0) }
+
+// SaveFileSeq writes the index and the covered WAL sequence number to a file,
+// atomically: the snapshot lands under a temporary name, is fsynced, and is
+// renamed into place, so a crash mid-write never corrupts the previous
+// snapshot.
+func (ix *Index) SaveFileSeq(path string, lastSeq uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := ix.Save(f); err != nil {
+	if err := ix.SaveSeq(f, lastSeq); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadFile reads an index from a file.
 func LoadFile(path string) (*Index, error) {
+	ix, _, err := LoadFileSeq(path)
+	return ix, err
+}
+
+// LoadFileSeq reads an index and its covered WAL sequence number from a file.
+func LoadFileSeq(path string) (*Index, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadSeq(f)
 }

@@ -134,3 +134,85 @@ func TestRestoreTranslationValidation(t *testing.T) {
 		t.Error("missing W relation accepted")
 	}
 }
+
+// tableMVDB is chainMVDB with a WeightTable-backed view, so the source MVDB
+// survives snapshots.
+func tableMVDB(n int64, seed int64) *core.MVDB {
+	m := chainMVDB(n, seed)
+	m.Views[0].Weights = &core.WeightTable{Default: 2.5}
+	m.Views[0].Weight = nil
+	return m
+}
+
+// TestIndexSaveLoadV2Mutable: a v2 snapshot carries the source MVDB and the
+// WAL sequence number; the restored index accepts mutations and answers like
+// an index built from scratch over the mutated source.
+func TestIndexSaveLoadV2Mutable(t *testing.T) {
+	m := tableMVDB(10, 21)
+	_, ix := buildIndex(t, m)
+
+	var buf bytes.Buffer
+	if err := ix.SaveSeq(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	back, seq, err := ReadSeq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("LastSeq: got %d want 42", seq)
+	}
+	if back.Source() == nil {
+		t.Fatal("restored index lost its source MVDB")
+	}
+	batch := []core.Mutation{
+		{Op: core.MutInsert, Rel: "Adv", Vals: []engine.Value{engine.Int(3), engine.Int(777)}, Weight: 0.8},
+		{Op: core.MutDelete, Rel: "Adv", Vals: back.Source().DB.Relation("Adv").Tuples[0].Vals},
+	}
+	if _, err := back.ApplyMutations(batch); err != nil {
+		t.Fatal(err)
+	}
+	_, ref := buildIndex(t, back.Source())
+	q := ucq.MustParse("Q(s) :- Adv(s,a)")
+	got, err := back.Query(q, IntersectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(q, IntersectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+			t.Errorf("row %v: %v vs %v", got[i].Head, got[i].Prob, want[i].Prob)
+		}
+	}
+}
+
+// TestIndexSnapshotClosureDegrades: closure-weighted sources cannot be
+// serialized; the snapshot degrades to query-only and mutation attempts on
+// the restored index fail with a clear error.
+func TestIndexSnapshotClosureDegrades(t *testing.T) {
+	m := chainMVDB(6, 23) // closure weights
+	_, ix := buildIndex(t, m)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Source() != nil {
+		t.Fatal("closure-weighted source should not survive the snapshot")
+	}
+	_, err = back.ApplyMutations([]core.Mutation{
+		{Op: core.MutInsert, Rel: "Adv", Vals: []engine.Value{engine.Int(1), engine.Int(999)}, Weight: 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no source MVDB") {
+		t.Fatalf("expected a no-source error, got %v", err)
+	}
+}

@@ -89,6 +89,12 @@ type Index struct {
 	// path consults it concurrently; installing or removing it is a mutating
 	// operation like Reweight.
 	cache *indexCache
+
+	// rec, when non-nil, is the block record of the last (recorded) compile
+	// of W, keyed to the current manager m; it lets ApplyMutations reuse
+	// clean blocks. Nil until the first structural mutation batch and after
+	// Compact (which moves NodeIDs).
+	rec *obdd.BlockRecord
 }
 
 // Build compiles the MV-index for a translation: it reuses the translation's
@@ -743,6 +749,9 @@ func (ix *Index) Compact() int {
 	ix.m = nm
 	ix.root = roots[0]
 	ix.tr.AttachOBDD(nm, nm.Not(ix.root))
+	// The block record's roots are NodeIDs of the old manager; drop it (the
+	// next structural mutation batch recompiles in full and re-records).
+	ix.rec = nil
 	ix.rebuild()
 	// Cached answers and lineage probabilities stay valid across Compact —
 	// the weights (and hence every probability) are unchanged; only NodeIDs

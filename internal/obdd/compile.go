@@ -257,6 +257,25 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 	// needs to cover the probabilistic atoms (DBLP's W has exactly this
 	// shape: aid1 occurs in NV/Advisor/Student but not in Wrote or Pub).
 	if sep, ok := u.FindSeparatorSkip(c.detSkip()); ok {
+		_, subs, est := c.sepExpand(u, sep)
+		return c.blockChain(subs, est, nil)
+	}
+
+	// Fallback: the sub-query has an inversion; compile its lineage by
+	// synthesis (what a generic OBDD package would do for the whole query).
+	c.stats.LineageFalls++
+	lin, err := ucq.EvalBoolean(c.db, u)
+	if err != nil {
+		return False, err
+	}
+	return c.BuildDNF(lin), nil
+}
+
+// sepExpand prepares the R3 expansion of a separator: the sorted active
+// domain, the per-value sub-queries (one independent block each, Prop. 1)
+// and per-block work estimates for the parallel scheduler.
+func (c *compiler) sepExpand(u ucq.UCQ, sep ucq.Separator) (domain []engine.Value, subs []ucq.UCQ, est []int) {
+	{
 		// For each disjunct, find one probabilistic atom carrying the
 		// separator (the "probe"). The separator domain of the disjunct is
 		// the set of values at the probe's separator column — narrowed by
@@ -311,7 +330,7 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 				}
 			}
 		}
-		domain := make([]engine.Value, 0, len(domainSet))
+		domain = make([]engine.Value, 0, len(domainSet))
 		for v := range domainSet {
 			domain = append(domain, v)
 		}
@@ -324,8 +343,8 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 		// probe's hash index) — the block's sub-OBDD and recursion are both
 		// roughly linear in it. The parallel scheduler uses the estimates to
 		// hand workers balanced batches.
-		subs := make([]ucq.UCQ, len(domain))
-		est := make([]int, len(domain))
+		subs = make([]ucq.UCQ, len(domain))
+		est = make([]int, len(domain))
 		for i, v := range domain {
 			for di, d := range u.Disjuncts {
 				if p := probes[di]; p.rel != nil {
@@ -341,36 +360,39 @@ func (c *compiler) openUCQ(u ucq.UCQ) (NodeID, error) {
 					d.Subst1(sep.PerDisjunct[di], v))
 			}
 		}
-		if workers := c.opts.workers(); workers > 1 && len(subs) > 1 {
-			return c.parallelBlocks(subs, est, workers)
-		}
-		// Iterate in descending order so each new block is prepended to the
-		// accumulated chain: OrDisjoint(block, acc) costs O(|block|).
-		acc := False
-		for i := len(subs) - 1; i >= 0; i-- {
-			if len(subs[i].Disjuncts) == 0 {
-				continue
-			}
-			if err := c.blockCheck(i); err != nil {
-				return False, err
-			}
-			block, err := c.ucq(subs[i])
-			if err != nil {
-				return False, err
-			}
-			acc = c.or2(block, acc)
-		}
-		return acc, nil
 	}
+	return domain, subs, est
+}
 
-	// Fallback: the sub-query has an inversion; compile its lineage by
-	// synthesis (what a generic OBDD package would do for the whole query).
-	c.stats.LineageFalls++
-	lin, err := ucq.EvalBoolean(c.db, u)
-	if err != nil {
-		return False, err
+// blockChain compiles the per-separator-value blocks and ORs them into the
+// descending chain, sequentially or with the parallel worker pool. When
+// capture is non-nil it receives each non-empty block's root in the main
+// manager (capture[i] stays False for empty blocks) — the per-value handle
+// incremental maintenance records.
+func (c *compiler) blockChain(subs []ucq.UCQ, est []int, capture []NodeID) (NodeID, error) {
+	if workers := c.opts.workers(); workers > 1 && len(subs) > 1 {
+		return c.parallelBlocks(subs, est, workers, capture)
 	}
-	return c.BuildDNF(lin), nil
+	// Iterate in descending order so each new block is prepended to the
+	// accumulated chain: OrDisjoint(block, acc) costs O(|block|).
+	acc := False
+	for i := len(subs) - 1; i >= 0; i-- {
+		if len(subs[i].Disjuncts) == 0 {
+			continue
+		}
+		if err := c.blockCheck(i); err != nil {
+			return False, err
+		}
+		block, err := c.ucq(subs[i])
+		if err != nil {
+			return False, err
+		}
+		if capture != nil {
+			capture[i] = block
+		}
+		acc = c.or2(block, acc)
+	}
+	return acc, nil
 }
 
 // blockChunks partitions block indexes into batches for the parallel
@@ -417,7 +439,7 @@ func blockChunks(subs []ucq.UCQ, est []int, workers int) [][]int {
 // chain in the same descending order as the sequential path, so the
 // resulting OBDD — and the compile statistics — are identical to
 // Parallelism: 1.
-func (c *compiler) parallelBlocks(subs []ucq.UCQ, est []int, workers int) (NodeID, error) {
+func (c *compiler) parallelBlocks(subs []ucq.UCQ, est []int, workers int, capture []NodeID) (NodeID, error) {
 	type blockResult struct {
 		m    *Manager
 		root NodeID
@@ -490,6 +512,9 @@ func (c *compiler) parallelBlocks(subs []ucq.UCQ, est []int, workers int) (NodeI
 			continue // empty sub-query, skipped by the worker
 		}
 		block := c.m.Import(results[i].m, results[i].root)
+		if capture != nil {
+			capture[i] = block
+		}
 		acc = c.or2(block, acc)
 	}
 	return acc, nil

@@ -1,0 +1,271 @@
+package obdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvdb/internal/engine"
+	"mvdb/internal/ucq"
+)
+
+// testVarMap maps old variable ids to new ones by tuple identity (relation +
+// full values), the same mapping the MV-index maintenance uses.
+func testVarMap(oldDB, newDB *engine.Database) func(int) (int, bool) {
+	return func(v int) (int, bool) {
+		ref, err := oldDB.VarRef(v)
+		if err != nil {
+			return 0, false
+		}
+		t := oldDB.Relation(ref.Rel).Tuples[ref.Pos]
+		nr := newDB.Relation(ref.Rel)
+		if nr == nil {
+			return 0, false
+		}
+		i := nr.Lookup(t.Vals)
+		if i < 0 || nr.Tuples[i].Var == 0 {
+			return 0, false
+		}
+		return nr.Tuples[i].Var, true
+	}
+}
+
+// diffByKey lists tuples present in exactly one of the two databases.
+func diffByKey(a, b *engine.Database) []ChangedTuple {
+	var out []ChangedTuple
+	for _, name := range a.Relations() {
+		ra, rb := a.Relation(name), b.Relation(name)
+		for _, t := range ra.Tuples {
+			if rb == nil || rb.Lookup(t.Vals) < 0 {
+				out = append(out, ChangedTuple{Rel: name, Vals: t.Vals})
+			}
+		}
+	}
+	for _, name := range b.Relations() {
+		ra, rb := a.Relation(name), b.Relation(name)
+		for _, t := range rb.Tuples {
+			if ra == nil || ra.Lookup(t.Vals) < 0 {
+				out = append(out, ChangedTuple{Rel: name, Vals: t.Vals})
+			}
+		}
+	}
+	return out
+}
+
+// TestCompileRecordedEquivalent: the recorded compile (top-level separator
+// expansion) must produce an OBDD structurally identical to the plain
+// compiler, with the per-value roots actually covering the chain.
+func TestCompileRecordedEquivalent(t *testing.T) {
+	q := ucq.MustParse("Q() :- R(x), S(x,y)\nQ() :- S(x,z), S(x,w), z <> w").UCQ
+	sep, ok := q.FindSeparatorSkip(ucq.SkipGround)
+	if !ok {
+		t.Fatal("no separator")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randSepDB(rng, 4+rng.Int63n(10))
+		pi := SeparatorFirstPerm(db, sep)
+		for _, par := range []int{1, 4} {
+			m, f, s, err := Compile(db, q, pi, CompileOptions{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr, fr, rec, _, err := CompileRecorded(db, q, pi, CompileOptions{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !StructEqual(m, f, mr, fr) {
+				t.Fatalf("seed %d par %d: recorded compile differs structurally", seed, par)
+			}
+			if !rec.HasSep || len(rec.Values) != len(rec.Roots) {
+				t.Fatalf("seed %d: bad record %+v", seed, rec)
+			}
+			probs := db.Probs()
+			a, b := m.Prob(f, probs), mr.Prob(fr, probs)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("seed %d: prob %v vs %v", seed, a, b)
+			}
+			_ = s
+		}
+	}
+}
+
+// mutateSepDB applies a random interleaving of inserts, deletes and
+// reweights to a clone of db and returns the mutated copy.
+func mutateSepDB(rng *rand.Rand, db *engine.Database, n int64) *engine.Database {
+	out := db.Clone()
+	for step := 0; step < 1+rng.Intn(6); step++ {
+		rel := []string{"R", "S"}[rng.Intn(2)]
+		r := out.Relation(rel)
+		switch {
+		case rng.Intn(3) == 0 && r.Len() > 0: // delete
+			t := r.Tuples[rng.Intn(r.Len())]
+			if _, err := out.DeleteTuple(rel, t.Vals); err != nil {
+				panic(err)
+			}
+		case rng.Intn(2) == 0 && r.Len() > 0: // reweight
+			t := r.Tuples[rng.Intn(r.Len())]
+			if _, err := out.UpdateWeight(rel, t.Vals, rng.Float64()*3); err != nil {
+				panic(err)
+			}
+		default: // insert
+			var vals []engine.Value
+			if rel == "R" {
+				vals = []engine.Value{engine.Int(1 + rng.Int63n(n+3))}
+			} else {
+				vals = []engine.Value{engine.Int(1 + rng.Int63n(n+3)), engine.Int(rng.Int63n(2000))}
+			}
+			if !out.HasTuple(rel, vals) {
+				out.MustInsert(rel, rng.Float64()*3, vals...)
+			}
+		}
+	}
+	return out
+}
+
+// TestCompileDeltaProperty: over random databases and random mutation
+// batches — chained, so records flow from delta to delta — the incremental
+// compile must be structurally identical to a from-scratch compile of the
+// mutated database.
+func TestCompileDeltaProperty(t *testing.T) {
+	q := ucq.MustParse("Q() :- R(x), S(x,y)\nQ() :- S(x,z), S(x,w), z <> w").UCQ
+	sep, ok := q.FindSeparatorSkip(ucq.SkipGround)
+	if !ok {
+		t.Fatal("no separator")
+	}
+	rounds := 10
+	if testing.Short() {
+		rounds = 3
+	}
+	sawReuse := false
+	for seed := int64(0); seed < int64(rounds); seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 4 + rng.Int63n(10)
+		db := randSepDB(rng, n)
+		pi := SeparatorFirstPerm(db, sep)
+		oldM, _, rec, _, err := CompileRecorded(db, q, pi, CompileOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 5; batch++ {
+			newDB := mutateSepDB(rng, db, n)
+			changed := diffByKey(db, newDB)
+			par := 1 + 3*rng.Intn(2) // 1 or 4 workers
+			newPi := SeparatorFirstPerm(newDB, sep)
+			dm, df, newRec, ds, _, err := CompileDelta(newDB, q, newPi, CompileOptions{Parallelism: par},
+				oldM, rec, testVarMap(db, newDB), changed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fm, ff, _, err := Compile(newDB, q, newPi, CompileOptions{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !StructEqual(dm, df, fm, ff) {
+				t.Fatalf("seed %d batch %d: delta OBDD differs from scratch (%+v, changed %v)",
+					seed, batch, ds, changed)
+			}
+			probs := newDB.Probs()
+			a, b := dm.Prob(df, probs), fm.Prob(ff, probs)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("seed %d batch %d: prob %v vs %v", seed, batch, a, b)
+			}
+			if ds.Reused > 0 {
+				sawReuse = true
+			}
+			db, oldM, rec = newDB, dm, newRec
+		}
+	}
+	if !sawReuse {
+		t.Fatal("no delta compile ever reused a block; incremental path untested")
+	}
+}
+
+// TestCompileDeltaFallbacks: missing record, changed query and weight-only
+// changes all behave correctly.
+func TestCompileDeltaFallbacks(t *testing.T) {
+	q := ucq.MustParse("Q() :- R(x), S(x,y)").UCQ
+	sep, _ := q.FindSeparator()
+	rng := rand.New(rand.NewSource(9))
+	db := randSepDB(rng, 8)
+	pi := SeparatorFirstPerm(db, sep)
+
+	// No record: full recompile, still correct.
+	m, f, rec, ds, _, err := CompileDelta(db, q, pi, CompileOptions{Parallelism: 1}, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Full || !rec.HasSep {
+		t.Fatalf("expected full fallback with a fresh record, got %+v", ds)
+	}
+	fm, ff, _, _ := Compile(db, q, pi, CompileOptions{Parallelism: 1})
+	if !StructEqual(m, f, fm, ff) {
+		t.Fatal("full fallback differs from scratch")
+	}
+
+	// Changed query: full recompile.
+	q2 := ucq.MustParse("Q() :- R(x), S(x,y), y > 100").UCQ
+	_, _, _, ds2, _, err := CompileDelta(db, q2, pi, CompileOptions{Parallelism: 1}, m, rec, testVarMap(db, db), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds2.Full {
+		t.Fatal("query change must force a full recompile")
+	}
+
+	// No structural change at all: every block reused.
+	m3, f3, _, ds3, _, err := CompileDelta(db, q, pi, CompileOptions{Parallelism: 1}, m, rec, testVarMap(db, db), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3.Recompiled != 0 || ds3.Reused != ds3.Blocks {
+		t.Fatalf("no-op delta recompiled blocks: %+v", ds3)
+	}
+	if !StructEqual(m3, f3, fm, ff) {
+		t.Fatal("no-op delta differs from scratch")
+	}
+}
+
+// TestImportMapped: renaming import across managers with different orders.
+func TestImportMapped(t *testing.T) {
+	src := NewManager([]int{1, 2, 3})
+	// f = (x1 AND x3) OR x2
+	x1 := src.MkNode(0, False, True)
+	x3 := src.MkNode(2, False, True)
+	and13 := src.And(x1, x3)
+	x2 := src.MkNode(1, False, True)
+	f := src.Or(and13, x2)
+
+	// Same order, shifted ids.
+	dst := NewManager([]int{10, 20, 30})
+	shift := func(v int) (int, bool) { return v * 10, true }
+	g, err := dst.ImportMapped(src, f, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check semantics by evaluating all 8 assignments.
+	for bits := 0; bits < 8; bits++ {
+		assign := func(v int) bool { return bits&(1<<(v-1)) != 0 }
+		want := (assign(1) && assign(3)) || assign(2)
+		if got := dst.Eval(g, func(v int) bool { return assign(v / 10) }); got != want {
+			t.Fatalf("bits %b: got %v want %v", bits, got, want)
+		}
+	}
+
+	// Unmapped variable errors.
+	if _, err := dst.ImportMapped(src, f, func(v int) (int, bool) {
+		if v == 2 {
+			return 0, false
+		}
+		return v * 10, true
+	}); err == nil {
+		t.Fatal("unmapped variable must error")
+	}
+
+	// Order-violating map errors (reverses 1 and 3).
+	if _, err := dst.ImportMapped(src, f, func(v int) (int, bool) {
+		return map[int]int{1: 30, 2: 20, 3: 10}[v], true
+	}); err == nil {
+		t.Fatal("non-monotone mapping must error")
+	}
+}

@@ -8,11 +8,17 @@
 //	GET  /healthz                                                → liveness (always 200 while the process serves)
 //	GET  /readyz                                                 → readiness (503 while draining)
 //
-// Requests run concurrently: the index is frozen after Build and its read
-// path (Query, ExplainBoolean, TupleMarginal) builds query OBDDs in per-call
-// scratch managers, so handlers only take a read lock. The write lock exists
-// for operations that would mutate the index (none are exposed over HTTP
-// today).
+// With a live-update configuration (EnableLive) the server also accepts
+// mutations:
+//
+//	POST /update     {"mutations": [{"op": "insert", ...}, ...]}  → WAL-logged batch, applied incrementally
+//	POST /reweight   {"rel": "Adv", "vals": [1, 101], "weight": 2} → single reweight through the same path
+//
+// Requests run concurrently: the index is frozen between mutations and its
+// read path (Query, ExplainBoolean, TupleMarginal) builds query OBDDs in
+// per-call scratch managers, so handlers only take a read lock. The write
+// lock is held briefly while an update batch splices recompiled blocks into
+// the index (see live.go).
 //
 // The server degrades gracefully under pressure (Config): evaluation
 // handlers run under a per-request timeout and resource budget — a deadline
@@ -79,6 +85,9 @@ type Server struct {
 	cfg Config
 	sem chan struct{} // admission semaphore; nil = unlimited
 
+	live  *Live // write path; nil until EnableLive
+	start time.Time
+
 	draining atomic.Bool
 
 	// slow, when non-nil, runs inside each admitted evaluation handler
@@ -92,7 +101,7 @@ func New(ix *mvindex.Index) *Server { return NewWith(ix, Config{}) }
 
 // NewWith builds a server around a compiled index with explicit bounds.
 func NewWith(ix *mvindex.Index, cfg Config) *Server {
-	s := &Server{ix: ix, mux: http.NewServeMux(), cfg: cfg}
+	s := &Server{ix: ix, mux: http.NewServeMux(), cfg: cfg, start: time.Now()}
 	// Serving is a repeated-workload setting, so the cross-query cache is on
 	// by default; construction has exclusive access to the index, which
 	// EnableCache (a mutating call) requires.
@@ -378,6 +387,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"pruned_indep":   tr.PrunedIndependent,
 		"has_constraint": tr.HasConstraints(),
 		"cache":          s.ix.CacheStats(),
+		"uptime_sec":     time.Since(s.start).Seconds(),
+	}
+	if s.live != nil {
+		out["live"] = s.live.stats()
 	}
 	s.writeJSON(w, out)
 }

@@ -1,0 +1,496 @@
+// Package wal implements the append-only, CRC-framed, group-committed
+// write-ahead log behind the live-update write path. The log is payload-
+// agnostic (opaque byte records tagged with a monotone sequence number), so
+// it has no dependency on the engine or core packages; the server encodes
+// mutation batches into it.
+//
+// # Format
+//
+// A log is a directory of segment files wal-<generation>.log. Each segment
+// is a sequence of frames:
+//
+//	[length u32][crc32 u32][payload]   payload = [seq u64][record bytes]
+//
+// all little-endian; the CRC (IEEE) covers the payload. Frames never span
+// segments. A crash can tear the final frame of the final segment; Open
+// truncates such a tail (the frame was never acknowledged — acknowledgment
+// happens only after Sync returns). A CRC or framing error anywhere else is
+// real corruption and surfaces as an error.
+//
+// # Durability contract
+//
+// Append buffers a frame and assigns its sequence number; the frame is
+// durable only once a subsequent Sync returns nil. Sync is a group commit:
+// one caller becomes the leader, optionally sleeps the commit window (with
+// the log unlocked, so concurrent Appends coalesce into the same fsync),
+// then flushes and fsyncs once for every frame appended so far. Callers that
+// find their frame already synced return immediately.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	frameHeader = 8 // length u32 + crc u32
+	seqBytes    = 8 // payload prefix
+)
+
+// MaxRecordBytes caps one record; larger appends are rejected (a corrupt
+// length field would otherwise make replay allocate unboundedly).
+const MaxRecordBytes = 64 << 20
+
+// Hooks inject faults for crash testing: each is called (when non-nil)
+// immediately before the corresponding irreversible step. Returning an error
+// aborts the operation with that error; tests typically panic or exit
+// instead, simulating a crash at the tear point.
+type Hooks struct {
+	BeforeWrite func(seq uint64) error // before a frame reaches the OS buffer
+	BeforeSync  func() error           // before the fsync of a group commit
+}
+
+// Options configures Open.
+type Options struct {
+	// GroupCommit is the commit window: the Sync leader waits this long
+	// (unlocked) before fsyncing, so concurrent writers share one fsync.
+	// Zero fsyncs immediately.
+	GroupCommit time.Duration
+	// NoFsync skips the fsync in Sync (for benchmarks on throwaway data;
+	// the durability contract is void).
+	NoFsync bool
+	// Hooks inject crash faults; see Hooks.
+	Hooks Hooks
+}
+
+// Stats is a point-in-time summary of the log.
+type Stats struct {
+	Segments   int    // segment files on disk
+	Generation uint64 // current (append) segment generation
+	Frames     uint64 // frames in the log, including unsynced ones
+	Bytes      int64  // bytes in the log, including unsynced ones
+	NextSeq    uint64 // sequence number the next Append will get
+	SyncedSeq  uint64 // highest durable sequence number
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	buf      []byte // frames appended since the last flush
+	gen      uint64
+	nextSeq  uint64 // last assigned sequence number
+	synced   uint64 // last durable sequence number
+	frames   uint64
+	bytes    int64
+	segments int
+	syncing  bool
+	closed   bool
+}
+
+func segName(gen uint64) string { return fmt.Sprintf("wal-%08d.log", gen) }
+
+// parseSegName returns the generation of a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	var gen uint64
+	if _, err := fmt.Sscanf(name, "wal-%d.log", &gen); err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listSegments returns the segment generations in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if g, ok := parseSegName(e.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Open opens (or creates) the log in dir. The final segment's torn tail, if
+// any, is truncated; the tail of every earlier segment must be intact.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	gens, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, gen: 1}
+	l.cond = sync.NewCond(&l.mu)
+	if len(gens) > 0 {
+		l.gen = gens[len(gens)-1]
+		l.segments = len(gens) - 1
+		// Earlier segments: count frames, track the last sequence number.
+		for _, g := range gens[:len(gens)-1] {
+			n, sz, last, err := scanSegment(filepath.Join(dir, segName(g)), false)
+			if err != nil {
+				return nil, fmt.Errorf("wal: segment %s: %w", segName(g), err)
+			}
+			l.frames += n
+			l.bytes += sz
+			if n > 0 {
+				l.nextSeq = last
+			}
+		}
+		// Final segment: tolerate and truncate a torn tail.
+		path := filepath.Join(dir, segName(l.gen))
+		n, sz, last, err := scanSegment(path, true)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment %s: %w", segName(l.gen), err)
+		}
+		if err := os.Truncate(path, sz); err != nil {
+			return nil, err
+		}
+		l.frames += n
+		l.bytes += sz
+		if n > 0 {
+			l.nextSeq = last
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(l.gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	l.segments++
+	l.synced = l.nextSeq
+	return l, nil
+}
+
+// scanSegment validates a segment and returns its frame count, the byte
+// offset of the end of its last valid frame, and the last frame's sequence
+// number. With tolerateTear, a torn final frame stops the scan cleanly;
+// otherwise it is an error.
+func scanSegment(path string, tolerateTear bool) (frames uint64, validBytes int64, lastSeq uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, 0, 0, nil
+		}
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	var hdr [frameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return frames, validBytes, lastSeq, nil
+			}
+			if err == io.ErrUnexpectedEOF && tolerateTear {
+				return frames, validBytes, lastSeq, nil
+			}
+			return 0, 0, 0, fmt.Errorf("torn frame header at offset %d", validBytes)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n < seqBytes || n > MaxRecordBytes+seqBytes {
+			if tolerateTear {
+				return frames, validBytes, lastSeq, nil
+			}
+			return 0, 0, 0, fmt.Errorf("bad frame length %d at offset %d", n, validBytes)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if tolerateTear {
+				return frames, validBytes, lastSeq, nil
+			}
+			return 0, 0, 0, fmt.Errorf("torn frame payload at offset %d", validBytes)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			if tolerateTear {
+				return frames, validBytes, lastSeq, nil
+			}
+			return 0, 0, 0, fmt.Errorf("crc mismatch at offset %d", validBytes)
+		}
+		frames++
+		validBytes += int64(frameHeader) + int64(n)
+		lastSeq = binary.LittleEndian.Uint64(payload[:seqBytes])
+	}
+}
+
+// Append adds one record to the log and returns its sequence number. The
+// record is durable only after a subsequent Sync returns nil.
+func (l *Log) Append(record []byte) (uint64, error) {
+	if len(record) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(record), MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log is closed")
+	}
+	seq := l.nextSeq + 1
+	if h := l.opts.Hooks.BeforeWrite; h != nil {
+		if err := h(seq); err != nil {
+			return 0, err
+		}
+	}
+	n := seqBytes + len(record)
+	var hdr [frameHeader + seqBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[frameHeader:], seq)
+	crc := crc32.ChecksumIEEE(hdr[frameHeader:])
+	crc = crc32.Update(crc, crc32.IEEETable, record)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, record...)
+	l.nextSeq = seq
+	l.frames++
+	l.bytes += int64(frameHeader) + int64(n)
+	return seq, nil
+}
+
+// Sync makes every record appended so far durable (group commit; see the
+// package comment). It returns once the caller's frames are synced, by this
+// call or a concurrent one.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.nextSeq
+	for {
+		if l.closed {
+			return errors.New("wal: log is closed")
+		}
+		if l.synced >= target {
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.cond.Wait() // a leader is committing; it may cover target
+	}
+	l.syncing = true
+	if w := l.opts.GroupCommit; w > 0 {
+		l.mu.Unlock()
+		time.Sleep(w) // commit window: let concurrent appends pile in
+		l.mu.Lock()
+	}
+	err := l.commitLocked()
+	l.syncing = false
+	l.cond.Broadcast()
+	return err
+}
+
+// commitLocked flushes the buffer and fsyncs; called with mu held.
+func (l *Log) commitLocked() error {
+	target := l.nextSeq
+	if len(l.buf) > 0 {
+		if _, err := l.f.Write(l.buf); err != nil {
+			return fmt.Errorf("wal: writing frames: %w", err)
+		}
+		l.buf = l.buf[:0]
+	}
+	if h := l.opts.Hooks.BeforeSync; h != nil {
+		if err := h(); err != nil {
+			return err
+		}
+	}
+	if !l.opts.NoFsync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	l.synced = target
+	return nil
+}
+
+// Rotate durably closes the current segment and starts a new one with the
+// next generation. Used by the snapshotter: after a snapshot covering the
+// rotated segments is persisted, RemoveBelow garbage-collects them.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log is closed")
+	}
+	if err := l.commitLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, err
+	}
+	l.gen++
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	l.f = f
+	l.segments++
+	return l.gen, nil
+}
+
+// RemoveBelow deletes every segment with generation < gen, reclaiming log
+// space covered by a snapshot. The current segment is never removed.
+func (l *Log) RemoveBelow(gen uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if gen > l.gen {
+		gen = l.gen
+	}
+	gens, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		if g >= gen {
+			continue
+		}
+		path := filepath.Join(l.dir, segName(g))
+		n, sz, _, serr := scanSegment(path, true)
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		l.segments--
+		if serr == nil {
+			l.frames -= n
+			l.bytes -= sz
+		}
+	}
+	return nil
+}
+
+// Generation returns the current segment generation.
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// NextSeq returns the sequence number the next Append will be assigned.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq + 1
+}
+
+// Stats returns a point-in-time summary.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments:   l.segments,
+		Generation: l.gen,
+		Frames:     l.frames,
+		Bytes:      l.bytes,
+		NextSeq:    l.nextSeq + 1,
+		SyncedSeq:  l.synced,
+	}
+}
+
+// Close flushes, fsyncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.commitLocked()
+	l.closed = true
+	l.cond.Broadcast()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Replay iterates the records of the log in dir with sequence numbers
+// strictly greater than afterSeq, in order, without opening the log for
+// writing. A torn final frame in the final segment ends the replay cleanly
+// (that frame was never acknowledged); tears or CRC failures anywhere else
+// are corruption and return an error.
+func Replay(dir string, afterSeq uint64, fn func(seq uint64, record []byte) error) error {
+	gens, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	for gi, g := range gens {
+		final := gi == len(gens)-1
+		path := filepath.Join(dir, segName(g))
+		if err := replaySegment(path, final, afterSeq, fn); err != nil {
+			return fmt.Errorf("wal: segment %s: %w", segName(g), err)
+		}
+	}
+	return nil
+}
+
+func replaySegment(path string, tolerateTear bool, afterSeq uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [frameHeader]byte
+	var payload []byte
+	var off int64
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF || (err == io.ErrUnexpectedEOF && tolerateTear) {
+				return nil
+			}
+			return fmt.Errorf("torn frame header at offset %d", off)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n < seqBytes || n > MaxRecordBytes+seqBytes {
+			if tolerateTear {
+				return nil
+			}
+			return fmt.Errorf("bad frame length %d at offset %d", n, off)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if tolerateTear {
+				return nil
+			}
+			return fmt.Errorf("torn frame payload at offset %d", off)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			if tolerateTear {
+				return nil
+			}
+			return fmt.Errorf("crc mismatch at offset %d", off)
+		}
+		off += int64(frameHeader) + int64(n)
+		seq := binary.LittleEndian.Uint64(payload[:seqBytes])
+		if seq > afterSeq {
+			if err := fn(seq, payload[seqBytes:]); err != nil {
+				return err
+			}
+		}
+	}
+}

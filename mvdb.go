@@ -86,6 +86,19 @@ type (
 	Index = mvindex.Index
 	// IntersectOptions selects the online intersection algorithm.
 	IntersectOptions = mvindex.IntersectOptions
+	// Mutation is one base-table insert, delete or reweight.
+	Mutation = core.Mutation
+	// WeightTable is a serializable per-head view weight assignment.
+	WeightTable = core.WeightTable
+	// MaintStats reports how Index.ApplyMutations handled one batch.
+	MaintStats = mvindex.MaintStats
+)
+
+// Mutation operations for Index.ApplyMutations.
+const (
+	MutInsert   = core.MutInsert
+	MutDelete   = core.MutDelete
+	MutReweight = core.MutReweight
 )
 
 // Evaluation methods for Translation.ProbBoolean and Translation.Query.
