@@ -26,6 +26,14 @@ go test -race -run 'TestSingleflightHammer|TestConcurrentHammer|TestMidFlightInv
 go test -race -run 'TestUpdateQueryInterleave|TestCrashRecovery|TestApplyMutationsEpoch' \
     -count=2 -timeout 5m ./internal/server/ ./internal/mvindex/
 
+# Replication hammer, explicitly under the race detector: the log-shipping
+# stream survives dropped/duplicated/truncated/stalled frames (DESIGN.md §11),
+# failover fences the old primary, and a stale follower refuses to serve.
+go test -race -run 'TestReplicationFaultHammer|TestPromoteFailover|TestFencingDemotesStalePrimary|TestFollowerStaleness503' \
+    -count=2 -timeout 5m ./internal/server/
+go test -race -run 'TestReplayCorruptMidSegment|FuzzReplayCorrupt|TestFollowerGapForcesReconnect|TestFollowerStallWatchdog' \
+    -count=2 -timeout 5m ./internal/wal/ ./internal/replica/
+
 # Benchmark smoke: one iteration of the parallel-compile benchmark catches
 # kernel or scheduler regressions that only manifest under the bench harness
 # (it asserts sequential/parallel result identity on every run).
@@ -119,5 +127,92 @@ curl -fsS "http://$addr/stats" | tr -d ' \n\t' | grep -q '"frames":1' \
     || { echo "crash smoke: recovered WAL does not hold the replayed frame"; kill "$mvdbd_pid"; exit 1; }
 kill -TERM "$mvdbd_pid"
 wait "$mvdbd_pid"
+
+# Replication chaos smoke: boot a primary and a WAL-shipped follower, apply an
+# acknowledged mutation batch, kill -9 the primary mid-stream, promote the
+# follower, keep writing on the new primary, and require its answers to be
+# byte-identical to a from-scratch rebuild that applied the same mutations in
+# the same order (the determinism contract of DESIGN.md §11).
+pwal=$(mktemp -d)
+fwal=$(mktemp -d)
+rwal=$(mktemp -d)
+trap 'rm -rf "$bindir" "$waldir" "$pwal" "$fwal" "$rwal"' EXIT
+paddr=127.0.0.1:18323
+faddr=127.0.0.1:18324
+raddr=127.0.0.1:18325
+"$bindir/mvdbd" -addr "$paddr" -authors 120 -wal-dir "$pwal" -query-timeout 10s &
+primary_pid=$!
+ready=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$paddr/readyz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { kill "$primary_pid" 2>/dev/null; echo "chaos smoke: primary never became ready"; exit 1; }
+"$bindir/mvdbd" -addr "$faddr" -replica-of "http://$paddr" -wal-dir "$fwal" \
+    -max-staleness 30s -query-timeout 10s &
+follower_pid=$!
+ready=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$faddr/readyz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { kill "$follower_pid" "$primary_pid" 2>/dev/null; echo "chaos smoke: follower never bootstrapped"; exit 1; }
+
+# Acknowledged batch on the primary; the stream must carry it to the follower.
+curl -fsS -X POST "http://$paddr/update" -H 'Content-Type: application/json' \
+    -d '{"mutations": [{"op": "insert", "rel": "Advisor", "vals": [104, 9999], "weight": 2}, {"op": "reweight", "rel": "Advisor", "vals": [104, 9999], "weight": 3}]}' >/dev/null
+pans=$(curl -fsS -X POST "http://$paddr/query" -H 'Content-Type: application/json' \
+    -d '{"query": "Q(a) :- Advisor(104,a)"}' | tr -d ' \n\t' | sed 's/.*"answers"://;s/,"millis.*//')
+converged=0
+for _ in $(seq 1 150); do
+    fans=$(curl -fsS -X POST "http://$faddr/query" -H 'Content-Type: application/json' \
+        -d '{"query": "Q(a) :- Advisor(104,a)"}' | tr -d ' \n\t' | sed 's/.*"answers"://;s/,"millis.*//') || fans=""
+    if [ -n "$fans" ] && [ "$fans" = "$pans" ]; then converged=1; break; fi
+    sleep 0.1
+done
+[ "$converged" = 1 ] || { kill -9 "$follower_pid" "$primary_pid" 2>/dev/null; echo "chaos smoke: follower never converged: $fans vs $pans"; exit 1; }
+
+# A follower must refuse writes while the primary is alive.
+wcode=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$faddr/update" -H 'Content-Type: application/json' \
+    -d '{"mutations": [{"op": "insert", "rel": "Advisor", "vals": [104, 8888], "weight": 1}]}')
+[ "$wcode" = 503 ] || { kill -9 "$follower_pid" "$primary_pid" 2>/dev/null; echo "chaos smoke: follower accepted a write (HTTP $wcode)"; exit 1; }
+
+# Kill the primary mid-stream (no drain), then promote the follower.
+kill -9 "$primary_pid"
+wait "$primary_pid" 2>/dev/null || true
+curl -fsS -X POST "http://$faddr/replication/promote" | tr -d ' \n\t' | grep -q '"role":"primary"' \
+    || { kill -9 "$follower_pid" 2>/dev/null; echo "chaos smoke: promote did not yield a primary"; exit 1; }
+curl -fsS "http://$faddr/stats" | tr -d ' \n\t' | grep -q '"role":"primary"' \
+    || { kill -9 "$follower_pid" 2>/dev/null; echo "chaos smoke: promoted node not reporting primary role"; exit 1; }
+
+# The promoted node must accept writes and continue the mutation line.
+curl -fsS -X POST "http://$faddr/update" -H 'Content-Type: application/json' \
+    -d '{"mutations": [{"op": "insert", "rel": "Advisor", "vals": [104, 7777], "weight": 1.5}]}' >/dev/null
+fans=$(curl -fsS -X POST "http://$faddr/query" -H 'Content-Type: application/json' \
+    -d '{"query": "Q(a) :- Advisor(104,a)"}' | tr -d ' \n\t' | sed 's/.*"answers"://;s/,"millis.*//')
+
+# From-scratch rebuild: a fresh instance applying the same mutations in the
+# same order must produce byte-identical answers.
+"$bindir/mvdbd" -addr "$raddr" -authors 120 -wal-dir "$rwal" -query-timeout 10s &
+rebuild_pid=$!
+ready=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$raddr/readyz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { kill "$rebuild_pid" "$follower_pid" 2>/dev/null; echo "chaos smoke: rebuild instance never became ready"; exit 1; }
+curl -fsS -X POST "http://$raddr/update" -H 'Content-Type: application/json' \
+    -d '{"mutations": [{"op": "insert", "rel": "Advisor", "vals": [104, 9999], "weight": 2}, {"op": "reweight", "rel": "Advisor", "vals": [104, 9999], "weight": 3}]}' >/dev/null
+curl -fsS -X POST "http://$raddr/update" -H 'Content-Type: application/json' \
+    -d '{"mutations": [{"op": "insert", "rel": "Advisor", "vals": [104, 7777], "weight": 1.5}]}' >/dev/null
+rans=$(curl -fsS -X POST "http://$raddr/query" -H 'Content-Type: application/json' \
+    -d '{"query": "Q(a) :- Advisor(104,a)"}' | tr -d ' \n\t' | sed 's/.*"answers"://;s/,"millis.*//')
+[ -n "$fans" ] && [ "$fans" = "$rans" ] \
+    || { kill -9 "$rebuild_pid" "$follower_pid" 2>/dev/null; echo "chaos smoke: failover diverged from rebuild: $fans vs $rans"; exit 1; }
+
+kill -TERM "$rebuild_pid"
+wait "$rebuild_pid"
+kill -TERM "$follower_pid"
+wait "$follower_pid"   # promoted node must still drain cleanly
 
 echo "ci.sh: all gates passed"

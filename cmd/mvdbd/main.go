@@ -23,6 +23,15 @@
 // SIGINT/SIGTERM flushes the WAL and takes a final snapshot.
 //
 //	mvdbd -authors 2000 -wal-dir /var/lib/mvdb/wal -addr :8080
+//
+// A WAL-enabled node is also a replication primary: it serves GET
+// /replication/snapshot and GET /replication/stream to followers. Start a
+// read replica with -replica-of; it bootstraps from the primary's snapshot,
+// tails its WAL, and serves reads within -max-staleness (503 + Retry-After
+// beyond it). POST /replication/promote fails the replica over to primary
+// under a bumped fencing term.
+//
+//	mvdbd -replica-of http://primary:8080 -wal-dir /var/lib/mvdb/replica -addr :8081
 package main
 
 import (
@@ -68,6 +77,9 @@ func main() {
 		snapPath     = flag.String("snapshot", "", "index snapshot path for recovery and WAL truncation (default <wal-dir>/index.snap)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (0 = snapshot only on shutdown)")
 		groupCommit  = flag.Duration("group-commit", 2*time.Millisecond, "WAL group-commit window; concurrent updates share one fsync (0 = fsync per batch)")
+
+		replicaOf    = flag.String("replica-of", "", "run as a read replica of this primary URL (requires -wal-dir for local replica state)")
+		maxStaleness = flag.Duration("max-staleness", 10*time.Second, "replica staleness bound: reads answer 503 + Retry-After when further behind the primary (0 = serve arbitrarily stale)")
 	)
 	flag.Parse()
 
@@ -97,12 +109,28 @@ func main() {
 	}
 
 	var (
-		ix   *mvindex.Index
-		live *server.Live
-		err  error
+		ix       *mvindex.Index
+		live     *server.Live
+		follower *server.FollowerState
+		err      error
 	)
 	t0 := time.Now()
-	if *walDir != "" {
+	switch {
+	case *replicaOf != "":
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "mvdbd: -replica-of requires -wal-dir for the replica's local WAL and snapshot")
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "starting as a replica of %s...\n", *replicaOf)
+		ix, follower, err = server.OpenFollower(server.FollowerConfig{
+			Dir:              *walDir,
+			PrimaryURL:       *replicaOf,
+			SnapshotPath:     *snapPath,
+			MaxStaleness:     *maxStaleness,
+			SnapshotInterval: *snapInterval,
+			GroupCommit:      *groupCommit,
+		})
+	case *walDir != "":
 		sp := *snapPath
 		if sp == "" {
 			sp = filepath.Join(*walDir, "index.snap")
@@ -113,7 +141,7 @@ func main() {
 			SnapshotInterval: *snapInterval,
 			GroupCommit:      *groupCommit,
 		}, build)
-	} else {
+	default:
 		ix, err = build()
 	}
 	if err != nil {
@@ -128,13 +156,28 @@ func main() {
 		Budget:       budget.Budget{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
 		Cache:        qcache.Options{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, Disable: !*cache},
 	})
-	if live != nil {
+	switch {
+	case follower != nil:
+		h.EnableFollower(follower)
+	case live != nil:
 		h.EnableLive(live)
+		// Any node with a WAL can ship it; this also persists the fencing
+		// term so the node survives failovers happening around it.
+		if err := h.EnableReplicationPrimary(live, server.ReplicationConfig{}); err != nil {
+			fmt.Fprintln(os.Stderr, "mvdbd:", err)
+			os.Exit(1)
+		}
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           h,
+		Addr:    *addr,
+		Handler: h,
+		// Header-read and idle timeouts plus a header cap keep slowloris
+		// clients from pinning connections (the admission semaphore only
+		// guards evaluation, not accept). No WriteTimeout: the replication
+		// stream is a deliberate long poll.
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
 	}
 
 	fmt.Fprintf(os.Stderr, "ready in %v: %d index nodes, %d blocks; listening on %s\n",
@@ -167,6 +210,14 @@ func main() {
 		// no update races the close.
 		if err := live.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "mvdbd: closing live state:", err)
+			os.Exit(1)
+		}
+	}
+	if follower != nil {
+		// Stop tailing, snapshot locally, close the local WAL. If the node
+		// was promoted mid-run this closes the write path instead.
+		if err := follower.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvdbd: closing replica state:", err)
 			os.Exit(1)
 		}
 	}

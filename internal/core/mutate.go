@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 
@@ -142,6 +144,26 @@ func (m *MVDB) Apply(batch []Mutation) error {
 		}
 	}
 	return nil
+}
+
+// EncodeMutations gobs a batch into the opaque record form carried by WAL
+// frames and the replication stream — one codec, so a frame a follower
+// receives is bit-identical to the one the primary logged.
+func EncodeMutations(batch []Mutation) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMutations reverses EncodeMutations.
+func DecodeMutations(rec []byte) ([]Mutation, error) {
+	var batch []Mutation
+	if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&batch); err != nil {
+		return nil, err
+	}
+	return batch, nil
 }
 
 // WeightTable is a serializable weight assignment for a view's output

@@ -1,0 +1,216 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mvdb/internal/wal"
+)
+
+// Primary is the log-shipping side: it serves snapshots of the hosting
+// server's index and streams synced WAL frames to followers. All callback
+// fields are required unless noted; the hosting server supplies them so this
+// package stays payload-agnostic.
+type Primary struct {
+	// Dir is the WAL directory frames are replayed from.
+	Dir string
+	// Log is the open WAL; only frames at or below its synced position ship.
+	Log *wal.Log
+	// Term returns the primary's current fencing term.
+	Term func() uint64
+	// Horizon returns the lowest sequence number still guaranteed present in
+	// the WAL (the latest snapshot's covered position — everything below it
+	// may have been truncated). Followers whose cursor is below the horizon
+	// get 410 and must re-bootstrap from a snapshot.
+	Horizon func() uint64
+	// Active reports whether this node still acks writes. A demoted primary
+	// stops serving snapshots and ends its streams, so followers move on.
+	Active func() bool
+	// Snapshot encodes the current index and returns the WAL sequence number
+	// it covers. The implementation must cut at a durable boundary: the
+	// returned state may not include frames that could still vanish in a
+	// crash, or a bootstrapped follower would diverge from a recovered
+	// primary.
+	Snapshot func() (seq uint64, data []byte, err error)
+	// OnStaleTerm is called when a request presents a term higher than our
+	// own: this node has been superseded and must stop acking writes.
+	// Optional.
+	OnStaleTerm func(seen uint64)
+	// HeartbeatInterval paces heartbeats on idle streams; 0 means
+	// DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// Hooks inject stream faults for chaos testing.
+	Hooks Hooks
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (p *Primary) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+func (p *Primary) heartbeatEvery() time.Duration {
+	if p.HeartbeatInterval > 0 {
+		return p.HeartbeatInterval
+	}
+	return DefaultHeartbeatInterval
+}
+
+func writeError(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...), "reason": reason})
+}
+
+// checkTerm enforces fencing on an incoming request: a follower presenting a
+// higher term than ours means we have been superseded. It writes the 409 and
+// returns false in that case.
+func (p *Primary) checkTerm(w http.ResponseWriter, r *http.Request) bool {
+	h := r.Header.Get(HeaderTerm)
+	if h == "" {
+		return true
+	}
+	followerTerm, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", "bad %s header %q", HeaderTerm, h)
+		return false
+	}
+	if term := p.Term(); followerTerm > term {
+		p.logf("replica: request carries term %d > own term %d; demoting", followerTerm, term)
+		if p.OnStaleTerm != nil {
+			p.OnStaleTerm(followerTerm)
+		}
+		w.Header().Set(HeaderTerm, strconv.FormatUint(term, 10))
+		writeError(w, http.StatusConflict, "stale-term",
+			"superseded by term %d (own term %d); this node no longer acks writes", followerTerm, term)
+		return false
+	}
+	return true
+}
+
+// ServeSnapshot handles GET /replication/snapshot: the full index as one gob
+// blob, with the covered WAL sequence number, the primary's term and a CRC32C
+// checksum in headers.
+func (p *Primary) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !p.checkTerm(w, r) {
+		return
+	}
+	if !p.Active() {
+		writeError(w, http.StatusServiceUnavailable, "not-primary", "this node is not the primary")
+		return
+	}
+	seq, data, err := p.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "", "encoding snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set(HeaderTerm, strconv.FormatUint(p.Term(), 10))
+	w.Header().Set(HeaderSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set(HeaderChecksum, checksumHex(data))
+	if _, err := w.Write(data); err != nil {
+		p.logf("replica: writing snapshot: %v", err)
+	}
+}
+
+// ServeStream handles GET /replication/stream?after=N: it replays every
+// synced WAL frame with sequence number above N, then long-polls the log's
+// durable position, interleaving heartbeats so the follower can distinguish
+// an idle primary from a dead one.
+func (p *Primary) ServeStream(w http.ResponseWriter, r *http.Request) {
+	if !p.checkTerm(w, r) {
+		return
+	}
+	if !p.Active() {
+		writeError(w, http.StatusServiceUnavailable, "not-primary", "this node is not the primary")
+		return
+	}
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", "bad after parameter: %v", err)
+		return
+	}
+	if h := p.Horizon(); after < h {
+		// The log prefix the follower needs was truncated by a snapshot.
+		writeError(w, http.StatusGone, "snapshot-required",
+			"cursor %d is below the log horizon %d; bootstrap from /replication/snapshot", after, h)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "", "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderTerm, strconv.FormatUint(p.Term(), 10))
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	cursor := after
+	for {
+		if !p.Active() || ctx.Err() != nil {
+			return // demoted mid-stream or client gone: end cleanly
+		}
+		synced := p.Log.SyncedSeq()
+		if synced > cursor {
+			err := wal.Replay(p.Dir, cursor, func(seq uint64, rec []byte) error {
+				if seq > synced {
+					return wal.ErrStopReplay // never ship past the durable prefix
+				}
+				cursor = seq
+				return p.ship(w, seq, rec)
+			})
+			if err != nil {
+				p.logf("replica: streaming frames after %d: %v", cursor, err)
+				return
+			}
+			fl.Flush()
+			continue // drain before sleeping: more may have landed meanwhile
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, p.heartbeatEvery())
+		_, werr := p.Log.WaitSynced(waitCtx, cursor)
+		cancel()
+		if werr == nil {
+			continue
+		}
+		if errors.Is(werr, context.DeadlineExceeded) && ctx.Err() == nil {
+			// Idle: heartbeat with the current durable position.
+			if err := p.ship(w, synced, nil); err != nil {
+				return
+			}
+			fl.Flush()
+			continue
+		}
+		return // client gone or log closed
+	}
+}
+
+// ship frames and writes one record, routing through the fault-injection
+// hook when set.
+func (p *Primary) ship(w http.ResponseWriter, seq uint64, record []byte) error {
+	frame := encodeFrame(seq, record)
+	outs := [][]byte{frame}
+	if h := p.Hooks.ShipFrame; h != nil {
+		outs = h(seq, frame)
+	}
+	for _, b := range outs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checksumHex(data []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(data, castagnoli))
+}

@@ -1,0 +1,78 @@
+// Package replica implements WAL-shipped replication: a primary-side
+// log-shipping server and a follower-side applier, connected by two HTTP
+// endpoints the hosting server mounts:
+//
+//	GET /replication/snapshot          gob index snapshot + checksum + WAL position
+//	GET /replication/stream?after=N    CRC32C-framed WAL records > N, long-poll tail
+//
+// The package is payload-agnostic, like internal/wal underneath it: records
+// are opaque bytes tagged with the primary's WAL sequence numbers, and the
+// hosting server supplies callbacks that encode snapshots and apply records.
+// Determinism does the heavy lifting — the MV-index translation is a pure
+// function of the WAL-ordered mutation stream, so a follower that applies the
+// same records converges to byte-identical answers.
+//
+// # Protocol
+//
+// A follower bootstraps from the snapshot endpoint (verifying the CRC32C
+// checksum header), then tails the stream from the snapshot's covered
+// sequence number. Stream frames are
+//
+//	[length u32][crc32c u32][payload]   payload = [seq u64][record bytes]
+//
+// little-endian, CRC32C (Castagnoli) over the payload. A frame with an empty
+// record is a heartbeat: its sequence number advertises the primary's durable
+// (synced) position, which drives the follower's staleness accounting. Only
+// synced frames are shipped — an unsynced frame is unacknowledged and may
+// legitimately vanish in a primary crash.
+//
+// # Robustness
+//
+// The follower's fetch loop survives every stream fault by construction: a
+// torn or corrupt frame, a stalled stream (no frame within HeartbeatTimeout)
+// or a dropped connection aborts the tail and reconnects with exponential
+// backoff plus jitter, resuming from the last applied sequence number.
+// Duplicate frames (seq ≤ cursor) are skipped idempotently; a sequence gap is
+// a protocol violation that forces a reconnect (the primary's log is dense
+// above its horizon, so a gap means frames were lost in flight); a cursor
+// below the primary's horizon (the log prefix truncated by snapshots) answers
+// 410 and forces a fresh snapshot bootstrap. The net effect: the follower
+// either converges to the primary's exact state or refuses to serve — it
+// never silently skips records.
+//
+// # Fencing
+//
+// A monotone term (persisted beside the WAL, see LoadTerm/SaveTerm) fences
+// failovers. Every stream request carries the follower's term; a primary that
+// sees a higher term than its own has been superseded — it demotes (stops
+// acking writes) and rejects the stream with 409. Symmetrically a follower
+// rejects responses whose term header is below the highest term it has seen,
+// so a resurrected stale primary can never feed it old frames.
+package replica
+
+import "time"
+
+// Hooks inject stream faults for chaos testing.
+type Hooks struct {
+	// ShipFrame intercepts every encoded frame (data and heartbeat) about to
+	// be written to a replication stream, and returns the byte slices written
+	// instead: nil drops the frame, the frame twice duplicates it, a strict
+	// prefix truncates (tears) it mid-stream, and sleeping inside the hook
+	// stalls the stream. Nil ships frames unmodified.
+	ShipFrame func(seq uint64, frame []byte) [][]byte
+}
+
+// Wire protocol headers.
+const (
+	HeaderTerm     = "X-Mvdb-Term"     // fencing term, decimal
+	HeaderSeq      = "X-Mvdb-Seq"      // snapshot's covered WAL sequence number
+	HeaderChecksum = "X-Mvdb-Checksum" // CRC32C of the snapshot body, hex
+)
+
+const (
+	// DefaultHeartbeatInterval paces primary heartbeats on an idle stream.
+	DefaultHeartbeatInterval = 500 * time.Millisecond
+	// DefaultHeartbeatTimeout is how long the follower waits for any frame
+	// before declaring the stream stalled and reconnecting.
+	DefaultHeartbeatTimeout = 5 * time.Second
+)

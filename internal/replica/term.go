@@ -1,0 +1,73 @@
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// The fencing term is persisted beside the WAL as a 12-byte file: the term
+// (u64 LE) followed by its CRC32C. Writes go through a temp file, fsync and
+// rename, then a directory fsync, so a crash can never leave a torn term —
+// and a corrupt term file is a hard error, because guessing a fencing term
+// after corruption could let two primaries ack writes concurrently.
+
+const termFile = "term"
+
+// LoadTerm reads the persisted fencing term in dir. A missing file is term 0
+// (never promoted, never fenced); a corrupt file is an error.
+func LoadTerm(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, termFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(b) != 12 {
+		return 0, fmt.Errorf("replica: term file is %d bytes, want 12", len(b))
+	}
+	term := binary.LittleEndian.Uint64(b[:8])
+	if crc32.Checksum(b[:8], castagnoli) != binary.LittleEndian.Uint32(b[8:]) {
+		return 0, fmt.Errorf("replica: term file checksum mismatch")
+	}
+	return term, nil
+}
+
+// SaveTerm durably persists the fencing term in dir.
+func SaveTerm(dir string, term uint64) error {
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[:8], term)
+	binary.LittleEndian.PutUint32(b[8:], crc32.Checksum(b[:8], castagnoli))
+	path := filepath.Join(dir, termFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b[:]); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: persisting term: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -2,7 +2,6 @@ package server
 
 import (
 	"bytes"
-	"encoding/gob"
 	"fmt"
 	"math"
 	"net/http"
@@ -118,7 +117,7 @@ func OpenLive(cfg LiveConfig, build func() (*mvindex.Index, error)) (*mvindex.In
 	var pending []core.Mutation
 	var replayed uint64
 	err := wal.Replay(cfg.WALDir, lastSeq, func(seq uint64, rec []byte) error {
-		batch, err := decodeBatch(rec)
+		batch, err := core.DecodeMutations(rec)
 		if err != nil {
 			return fmt.Errorf("frame %d: %w", seq, err)
 		}
@@ -148,23 +147,74 @@ func OpenLive(cfg LiveConfig, build func() (*mvindex.Index, error)) (*mvindex.In
 	if replayed > lastSeq {
 		lastSeq = replayed
 	}
+	// A snapshot that covered the whole (since-truncated) log reopens the WAL
+	// with no frames; re-anchor so the next Append cannot re-issue a covered
+	// sequence number, which a later replay would filter out.
+	log.SkipTo(lastSeq)
 	l.appliedSeq = lastSeq
 	l.snapSeq.Store(lastSeq)
 	return ix, l, nil
 }
 
-// EnableLive attaches the write path to the server: the /update and
-// /reweight endpoints, the write-path stats, and (when configured) the
-// background snapshotter. Call once, before serving.
+// EnableLive attaches the write path to the server: the (always-routed)
+// /update and /reweight endpoints start acking, the write-path stats appear,
+// and (when configured) the background snapshotter runs. Called once before
+// serving on a standalone or primary node — or at promotion time on a
+// follower, which is why the endpoints are routed up front and gate on the
+// attached write path instead of being registered here.
 func (s *Server) EnableLive(l *Live) {
-	s.live = l
 	l.srv = s
-	s.mux.HandleFunc("POST /update", l.handleUpdate)
-	s.mux.HandleFunc("POST /reweight", l.handleReweight)
+	s.live.Store(l)
 	if l.cfg.SnapshotInterval > 0 {
 		l.snapDone = make(chan struct{})
 		go l.snapshotLoop()
 	}
+}
+
+// newLiveFromLog builds a write path around an already-open WAL — the
+// promotion path: a follower's local log (holding every frame it applied
+// under the primary's numbering) becomes the log it appends its own writes
+// to, so the sequence numbers continue the primary's line.
+func newLiveFromLog(cfg LiveConfig, log *wal.Log, appliedSeq uint64) *Live {
+	l := &Live{
+		cfg:  cfg,
+		log:  log,
+		sem:  make(chan struct{}, cfg.maxPending()),
+		stop: make(chan struct{}),
+	}
+	l.appliedSeq = appliedSeq
+	l.snapSeq.Store(appliedSeq)
+	return l
+}
+
+// AppliedSeq returns the WAL sequence number applied to the index.
+func (l *Live) AppliedSeq() uint64 {
+	l.updateMu.Lock()
+	defer l.updateMu.Unlock()
+	return l.appliedSeq
+}
+
+// encodeReplicationSnapshot cuts a bootstrap snapshot at a durable boundary:
+// it syncs the log first (under the writer lock, so the applied position
+// cannot move), then encodes the index with that position. Without the sync,
+// a bootstrapped follower could carry frames that vanish in a primary crash
+// — state no recovered primary would ever have.
+func (l *Live) encodeReplicationSnapshot() (uint64, []byte, error) {
+	l.updateMu.Lock()
+	defer l.updateMu.Unlock()
+	if err := l.log.Sync(); err != nil {
+		return 0, nil, err
+	}
+	seq := l.appliedSeq
+	s := l.srv
+	s.mu.RLock()
+	var buf bytes.Buffer
+	err := s.ix.SaveSeq(&buf, seq)
+	s.mu.RUnlock()
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, buf.Bytes(), nil
 }
 
 // Close stops the snapshotter, takes a final snapshot (when configured) and
@@ -284,22 +334,6 @@ func toMutations(in []mutationJSON) ([]core.Mutation, error) {
 	return out, nil
 }
 
-func encodeBatch(batch []core.Mutation) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeBatch(rec []byte) ([]core.Mutation, error) {
-	var batch []core.Mutation
-	if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&batch); err != nil {
-		return nil, err
-	}
-	return batch, nil
-}
-
 func (l *Live) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req updateRequest
 	if !l.srv.decodeJSON(w, r, &req) {
@@ -371,7 +405,7 @@ func (l *Live) applyBatch(w http.ResponseWriter, batch []core.Mutation) {
 		s.httpError(w, http.StatusBadRequest, "", "invalid batch: %v", verr)
 		return
 	}
-	rec, err := encodeBatch(batch)
+	rec, err := core.EncodeMutations(batch)
 	var seq uint64
 	if err == nil {
 		seq, err = l.log.Append(rec)

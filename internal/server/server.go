@@ -77,6 +77,32 @@ type Config struct {
 	Logger *log.Logger
 }
 
+// role is the server's position in a replication topology. Standalone
+// servers (no replication configured) ack writes whenever a write path is
+// attached; primaries ack writes and ship their WAL; followers and fenced
+// ex-primaries reject writes with 503.
+type role int32
+
+const (
+	roleStandalone role = iota
+	rolePrimary
+	roleFollower
+	roleDemoted
+)
+
+func (r role) String() string {
+	switch r {
+	case rolePrimary:
+		return "primary"
+	case roleFollower:
+		return "follower"
+	case roleDemoted:
+		return "demoted"
+	default:
+		return "standalone"
+	}
+}
+
 // Server wraps an MV-index as an http.Handler.
 type Server struct {
 	mu  sync.RWMutex // read-held by handlers; write-held only by index mutation
@@ -85,8 +111,12 @@ type Server struct {
 	cfg Config
 	sem chan struct{} // admission semaphore; nil = unlimited
 
-	live  *Live // write path; nil until EnableLive
+	live  atomic.Pointer[Live] // write path; nil until EnableLive (or promotion)
 	start time.Time
+
+	role atomic.Int32  // current role (see type role)
+	term atomic.Uint64 // fencing term; 0 until replication is enabled
+	repl *replState    // replication wiring; nil unless enabled
 
 	draining atomic.Bool
 
@@ -113,6 +143,14 @@ func NewWith(ix *mvindex.Index, cfg Config) *Server {
 	s.mux.HandleFunc("POST /explain", s.admit(s.handleExplain))
 	s.mux.HandleFunc("GET /marginal", s.admit(s.handleMarginal))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	// Write and replication endpoints are always routed; the handlers gate on
+	// the attached write path and the current role, so a follower answers 503
+	// (not 404) and a promotion needs no re-registration.
+	s.mux.HandleFunc("POST /update", s.handleUpdateGate)
+	s.mux.HandleFunc("POST /reweight", s.handleReweightGate)
+	s.mux.HandleFunc("GET /replication/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /replication/stream", s.handleReplStream)
+	s.mux.HandleFunc("POST /replication/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -142,9 +180,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // admit applies the admission semaphore: requests beyond MaxInflight are
-// shed immediately rather than queued, so latency stays bounded.
+// shed immediately rather than queued, so latency stays bounded. On a
+// follower it also applies the staleness gate — a lagging replica answers
+// 503 rather than silently stale probabilities.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.freshEnough(w) {
+			return
+		}
 		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
@@ -160,6 +203,47 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			s.slow()
 		}
 		h(w, r)
+	}
+}
+
+// acceptsWrites reports whether this node may ack mutations: a follower or a
+// fenced (demoted) ex-primary must not.
+func (s *Server) acceptsWrites() bool {
+	switch role(s.role.Load()) {
+	case roleStandalone, rolePrimary:
+		return true
+	default:
+		return false
+	}
+}
+
+// writePath resolves the attached Live for a mutation request, writing the
+// 503 itself when this node must not ack writes.
+func (s *Server) writePath(w http.ResponseWriter) (*Live, bool) {
+	if !s.acceptsWrites() {
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable, "not-primary",
+			"this node is a %s (term %d) and does not ack writes", role(s.role.Load()), s.term.Load())
+		return nil, false
+	}
+	l := s.live.Load()
+	if l == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "read-only",
+			"no write path configured (start with a WAL directory)")
+		return nil, false
+	}
+	return l, true
+}
+
+func (s *Server) handleUpdateGate(w http.ResponseWriter, r *http.Request) {
+	if l, ok := s.writePath(w); ok {
+		l.handleUpdate(w, r)
+	}
+}
+
+func (s *Server) handleReweightGate(w http.ResponseWriter, r *http.Request) {
+	if l, ok := s.writePath(w); ok {
+		l.handleReweight(w, r)
 	}
 }
 
@@ -388,9 +472,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"has_constraint": tr.HasConstraints(),
 		"cache":          s.ix.CacheStats(),
 		"uptime_sec":     time.Since(s.start).Seconds(),
+		"role":           role(s.role.Load()).String(),
+		"term":           s.term.Load(),
 	}
-	if s.live != nil {
-		out["live"] = s.live.stats()
+	if l := s.live.Load(); l != nil {
+		out["live"] = l.stats()
+	}
+	if s.repl != nil {
+		out["replication"] = s.repl.stats(s)
 	}
 	s.writeJSON(w, out)
 }

@@ -1,0 +1,266 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestAppendSeq(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A follower bootstrapped from a snapshot covering seq 100 starts its
+	// empty local log with a gap.
+	if err := l.AppendSeq(101, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSeq(102, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Further gaps are legal (the primary's numbering rules).
+	if err := l.AppendSeq(110, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	// Equal or lower sequence numbers are not.
+	if err := l.AppendSeq(110, []byte("dup")); err == nil {
+		t.Fatal("duplicate sequence number must be rejected")
+	}
+	if err := l.AppendSeq(50, []byte("old")); err == nil {
+		t.Fatal("regressing sequence number must be rejected")
+	}
+	// Plain Append continues the line densely.
+	seq, err := l.Append([]byte("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 111 {
+		t.Fatalf("Append after AppendSeq(110) got seq %d, want 111", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, dir, 0)
+	want := []uint64{101, 102, 110, 111}
+	if len(seqs) != len(want) {
+		t.Fatalf("replayed %v want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("replayed %v want %v", seqs, want)
+		}
+	}
+	// Reopen resumes above the highest sequence number.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if seq, _ := l2.Append([]byte("e")); seq != 112 {
+		t.Fatalf("reopened next seq %d want 112", seq)
+	}
+}
+
+// TestSkipTo: an empty log re-anchored at a snapshot's covered position must
+// assign fresh sequence numbers above it — and the durable horizon follows,
+// since the skipped range holds no data.
+func TestSkipTo(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SkipTo(5)
+	if got := l.SyncedSeq(); got != 5 {
+		t.Fatalf("SyncedSeq after SkipTo(5) = %d, want 5", got)
+	}
+	l.SkipTo(3) // regressions are ignored
+	seq, err := l.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("Append after SkipTo(5) assigned seq %d, want 6", seq)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A replay filtering at the snapshot position sees exactly the new frame.
+	seqs, recs := collect(t, dir, 5)
+	if len(seqs) != 1 || seqs[0] != 6 || string(recs[0]) != "x" {
+		t.Fatalf("replay after 5: seqs %v recs %q", seqs, recs)
+	}
+}
+
+func TestSyncedSeqAndWaitSynced(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.SyncedSeq(); got != 0 {
+		t.Fatalf("fresh log SyncedSeq %d want 0", got)
+	}
+	l.Append([]byte("a"))
+	if got := l.SyncedSeq(); got != 0 {
+		t.Fatalf("unsynced append moved SyncedSeq to %d", got)
+	}
+
+	// WaitSynced returns immediately when the position is already past.
+	l.Sync()
+	got, err := l.WaitSynced(context.Background(), 0)
+	if err != nil || got != 1 {
+		t.Fatalf("WaitSynced(0) = %d, %v; want 1, nil", got, err)
+	}
+
+	// WaitSynced blocks until a concurrent Sync advances the position.
+	done := make(chan uint64, 1)
+	go func() {
+		s, err := l.WaitSynced(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- s
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	l.Append([]byte("b"))
+	l.Sync()
+	select {
+	case s := <-done:
+		if s != 2 {
+			t.Fatalf("woke at %d want 2", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitSynced never woke after Sync")
+	}
+
+	// Context cancellation unblocks a waiter.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := l.WaitSynced(ctx, 99); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitSynced past the end: %v, want deadline exceeded", err)
+	}
+}
+
+func TestWaitSyncedClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.WaitSynced(context.Background(), 10)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("WaitSynced on a closed log must error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitSynced never woke after Close")
+	}
+}
+
+func TestReplayStop(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	for i := 0; i < 10; i++ {
+		l.Append([]byte(fmt.Sprintf("r%d", i)))
+	}
+	l.Close()
+	var seen []uint64
+	err := Replay(dir, 0, func(seq uint64, _ []byte) error {
+		if seq > 4 {
+			return ErrStopReplay
+		}
+		seen = append(seen, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStopReplay must end the replay cleanly, got %v", err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("saw %v, want seqs 1..4", seen)
+	}
+}
+
+// TestReplayCorruptMidSegment: corruption in a non-final segment surfaces as
+// a CorruptError naming the segment and frame offset, the callback saw
+// exactly the records before the corrupt frame, and nothing was skipped.
+func TestReplayCorruptMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	for i := 0; i < 6; i++ {
+		l.Append([]byte(fmt.Sprintf("record-%d", i)))
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("in-segment-2"))
+	l.Close()
+
+	path := filepath.Join(dir, segName(1))
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame layout is fixed here: 8B header + 8B seq + 8B "record-N".
+	frameLen := int64(frameHeader + seqBytes + len("record-0"))
+	for frame := 0; frame < 6; frame++ {
+		for _, hit := range []string{"crc", "length"} {
+			b := append([]byte(nil), whole...)
+			off := int64(frame) * frameLen
+			switch hit {
+			case "crc":
+				b[off+frameHeader+seqBytes] ^= 0xff // payload byte
+			case "length":
+				b[off+1] = 0xff // length field → absurd frame length
+			}
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var seen []uint64
+			rerr := Replay(dir, 0, func(seq uint64, _ []byte) error {
+				seen = append(seen, seq)
+				return nil
+			})
+			if rerr == nil {
+				t.Fatalf("frame %d %s: corruption in a non-final segment must error", frame, hit)
+			}
+			var ce *CorruptError
+			if !errors.As(rerr, &ce) {
+				t.Fatalf("frame %d %s: error %v is not a CorruptError", frame, hit, rerr)
+			}
+			if ce.Segment != segName(1) {
+				t.Fatalf("frame %d %s: positioned at segment %s", frame, hit, ce.Segment)
+			}
+			if ce.Offset != off {
+				t.Fatalf("frame %d %s: positioned at offset %d, want %d", frame, hit, ce.Offset, off)
+			}
+			// Never skip: the callback saw exactly the frames before the
+			// corruption, in order.
+			if len(seen) != frame {
+				t.Fatalf("frame %d %s: callback saw %v", frame, hit, seen)
+			}
+			for i, s := range seen {
+				if s != uint64(i+1) {
+					t.Fatalf("frame %d %s: callback saw %v", frame, hit, seen)
+				}
+			}
+		}
+	}
+}

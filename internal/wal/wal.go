@@ -28,6 +28,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -39,6 +40,25 @@ import (
 	"sync"
 	"time"
 )
+
+// ErrStopReplay, returned by a Replay callback, ends the replay cleanly:
+// Replay stops iterating and returns nil. Used by streaming readers that
+// must not run past the durable (synced) prefix of a live log.
+var ErrStopReplay = errors.New("wal: stop replay")
+
+// CorruptError reports WAL corruption with its position: the segment file and
+// the byte offset of the frame that failed to parse or checksum. Replay and
+// Open return it (wrapped) for any corruption outside the tolerated torn
+// final frame; errors.As extracts it.
+type CorruptError struct {
+	Segment string // segment file name, e.g. wal-00000003.log
+	Offset  int64  // byte offset of the corrupt frame within the segment
+	Reason  string // what failed: header tear, bad length, payload tear, crc
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("%s at %s offset %d", e.Reason, e.Segment, e.Offset)
+}
 
 const (
 	frameHeader = 8 // length u32 + crc u32
@@ -98,6 +118,25 @@ type Log struct {
 	segments int
 	syncing  bool
 	closed   bool
+	watch    chan struct{} // closed when synced advances (or the log closes)
+}
+
+// fsyncDir fsyncs a directory so entry creations, renames and removals under
+// it survive power loss. File-content fsyncs alone do not make a new segment
+// file's directory entry durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 func segName(gen uint64) string { return fmt.Sprintf("wal-%08d.log", gen) }
@@ -149,7 +188,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		for _, g := range gens[:len(gens)-1] {
 			n, sz, last, err := scanSegment(filepath.Join(dir, segName(g)), false)
 			if err != nil {
-				return nil, fmt.Errorf("wal: segment %s: %w", segName(g), err)
+				return nil, fmt.Errorf("wal: %w", err)
 			}
 			l.frames += n
 			l.bytes += sz
@@ -161,7 +200,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		path := filepath.Join(dir, segName(l.gen))
 		n, sz, last, err := scanSegment(path, true)
 		if err != nil {
-			return nil, fmt.Errorf("wal: segment %s: %w", segName(l.gen), err)
+			return nil, fmt.Errorf("wal: %w", err)
 		}
 		if err := os.Truncate(path, sz); err != nil {
 			return nil, err
@@ -174,6 +213,12 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	f, err := os.OpenFile(filepath.Join(dir, segName(l.gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	// The segment file's directory entry must be durable before any frame in
+	// it is acknowledged; fsync the directory now rather than on every Sync.
+	if err := fsyncDir(dir); err != nil {
+		f.Close()
 		return nil, err
 	}
 	l.f = f
@@ -195,6 +240,9 @@ func scanSegment(path string, tolerateTear bool) (frames uint64, validBytes int6
 		return 0, 0, 0, err
 	}
 	defer f.Close()
+	corrupt := func(reason string) error {
+		return &CorruptError{Segment: filepath.Base(path), Offset: validBytes, Reason: reason}
+	}
 	var hdr [frameHeader]byte
 	var payload []byte
 	for {
@@ -205,7 +253,7 @@ func scanSegment(path string, tolerateTear bool) (frames uint64, validBytes int6
 			if err == io.ErrUnexpectedEOF && tolerateTear {
 				return frames, validBytes, lastSeq, nil
 			}
-			return 0, 0, 0, fmt.Errorf("torn frame header at offset %d", validBytes)
+			return 0, 0, 0, corrupt("torn frame header")
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
@@ -213,7 +261,7 @@ func scanSegment(path string, tolerateTear bool) (frames uint64, validBytes int6
 			if tolerateTear {
 				return frames, validBytes, lastSeq, nil
 			}
-			return 0, 0, 0, fmt.Errorf("bad frame length %d at offset %d", n, validBytes)
+			return 0, 0, 0, corrupt(fmt.Sprintf("bad frame length %d", n))
 		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
@@ -223,13 +271,13 @@ func scanSegment(path string, tolerateTear bool) (frames uint64, validBytes int6
 			if tolerateTear {
 				return frames, validBytes, lastSeq, nil
 			}
-			return 0, 0, 0, fmt.Errorf("torn frame payload at offset %d", validBytes)
+			return 0, 0, 0, corrupt("torn frame payload")
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
 			if tolerateTear {
 				return frames, validBytes, lastSeq, nil
 			}
-			return 0, 0, 0, fmt.Errorf("crc mismatch at offset %d", validBytes)
+			return 0, 0, 0, corrupt("crc mismatch")
 		}
 		frames++
 		validBytes += int64(frameHeader) + int64(n)
@@ -240,15 +288,59 @@ func scanSegment(path string, tolerateTear bool) (frames uint64, validBytes int6
 // Append adds one record to the log and returns its sequence number. The
 // record is durable only after a subsequent Sync returns nil.
 func (l *Log) Append(record []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(l.nextSeq+1, record)
+}
+
+// AppendSeq adds one record under an explicit sequence number — the follower
+// side of replication, which persists the primary's frames under the
+// primary's numbering. Sequence numbers must be strictly increasing; gaps are
+// legal (a follower bootstrapped from a snapshot starts its empty local log
+// at the snapshot's covered sequence number, and Replay filters by sequence
+// number, never by density).
+func (l *Log) AppendSeq(seq uint64, record []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.nextSeq {
+		return fmt.Errorf("wal: non-monotone sequence %d (last %d)", seq, l.nextSeq)
+	}
+	_, err := l.appendLocked(seq, record)
+	return err
+}
+
+// SkipTo advances the next assigned sequence number to at least seq without
+// writing anything. Recovery paths use it to re-anchor an empty or truncated
+// log at the snapshot's covered position: a snapshot at seq N with no frames
+// after it reopens with nextSeq 0, and without the skip the next Append would
+// re-issue sequence numbers the snapshot already covers — frames a later
+// replay (which filters by sequence) would silently drop.
+func (l *Log) SkipTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.nextSeq {
+		return
+	}
+	if l.synced == l.nextSeq {
+		// Everything assigned so far is durable, and the skipped range
+		// (nextSeq, seq] holds no data — the durable horizon moves with it,
+		// waking any WaitSynced long-poller parked below seq.
+		l.synced = seq
+		if l.watch != nil {
+			close(l.watch)
+			l.watch = nil
+		}
+	}
+	l.nextSeq = seq
+}
+
+func (l *Log) appendLocked(seq uint64, record []byte) (uint64, error) {
 	if len(record) > MaxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(record), MaxRecordBytes)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
 		return 0, errors.New("wal: log is closed")
 	}
-	seq := l.nextSeq + 1
 	if h := l.opts.Hooks.BeforeWrite; h != nil {
 		if err := h(seq); err != nil {
 			return 0, err
@@ -320,7 +412,48 @@ func (l *Log) commitLocked() error {
 		}
 	}
 	l.synced = target
+	if l.watch != nil {
+		close(l.watch) // wake WaitSynced long-pollers
+		l.watch = nil
+	}
 	return nil
+}
+
+// SyncedSeq returns the highest durable sequence number. Replication ships
+// only frames at or below it: an unsynced frame is unacknowledged and may
+// legitimately vanish in a crash, so it must never reach a follower.
+func (l *Log) SyncedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// WaitSynced blocks until the durable sequence number exceeds after, the
+// context is done, or the log closes. It returns the durable sequence number
+// at wake-up; the long-poll tail of the replication stream is built on it.
+func (l *Log) WaitSynced(ctx context.Context, after uint64) (uint64, error) {
+	for {
+		l.mu.Lock()
+		if l.synced > after {
+			s := l.synced
+			l.mu.Unlock()
+			return s, nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return 0, errors.New("wal: log is closed")
+		}
+		if l.watch == nil {
+			l.watch = make(chan struct{})
+		}
+		ch := l.watch
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-ch:
+		}
+	}
 }
 
 // Rotate durably closes the current segment and starts a new one with the
@@ -343,6 +476,10 @@ func (l *Log) Rotate() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := fsyncDir(l.dir); err != nil {
+		f.Close()
+		return 0, err
+	}
 	l.f = f
 	l.segments++
 	return l.gen, nil
@@ -360,6 +497,7 @@ func (l *Log) RemoveBelow(gen uint64) error {
 	if err != nil {
 		return err
 	}
+	removed := false
 	for _, g := range gens {
 		if g >= gen {
 			continue
@@ -369,11 +507,17 @@ func (l *Log) RemoveBelow(gen uint64) error {
 		if err := os.Remove(path); err != nil {
 			return err
 		}
+		removed = true
 		l.segments--
 		if serr == nil {
 			l.frames -= n
 			l.bytes -= sz
 		}
+	}
+	if removed {
+		// Make the removals durable: a resurrected pre-snapshot segment after
+		// a crash would replay frames the snapshot already covers.
+		return fsyncDir(l.dir)
 	}
 	return nil
 }
@@ -416,6 +560,10 @@ func (l *Log) Close() error {
 	err := l.commitLocked()
 	l.closed = true
 	l.cond.Broadcast()
+	if l.watch != nil {
+		close(l.watch) // wake WaitSynced long-pollers so they observe closed
+		l.watch = nil
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
@@ -426,7 +574,9 @@ func (l *Log) Close() error {
 // strictly greater than afterSeq, in order, without opening the log for
 // writing. A torn final frame in the final segment ends the replay cleanly
 // (that frame was never acknowledged); tears or CRC failures anywhere else
-// are corruption and return an error.
+// are corruption and return a positioned error (see CorruptError) — replay
+// never skips past a corrupt frame. A callback returning ErrStopReplay ends
+// the replay cleanly.
 func Replay(dir string, afterSeq uint64, fn func(seq uint64, record []byte) error) error {
 	gens, err := listSegments(dir)
 	if err != nil {
@@ -439,7 +589,10 @@ func Replay(dir string, afterSeq uint64, fn func(seq uint64, record []byte) erro
 		final := gi == len(gens)-1
 		path := filepath.Join(dir, segName(g))
 		if err := replaySegment(path, final, afterSeq, fn); err != nil {
-			return fmt.Errorf("wal: segment %s: %w", segName(g), err)
+			if errors.Is(err, ErrStopReplay) {
+				return nil
+			}
+			return fmt.Errorf("wal: %w", err)
 		}
 	}
 	return nil
@@ -451,6 +604,9 @@ func replaySegment(path string, tolerateTear bool, afterSeq uint64, fn func(uint
 		return err
 	}
 	defer f.Close()
+	corrupt := func(reason string, off int64) error {
+		return &CorruptError{Segment: filepath.Base(path), Offset: off, Reason: reason}
+	}
 	var hdr [frameHeader]byte
 	var payload []byte
 	var off int64
@@ -459,7 +615,7 @@ func replaySegment(path string, tolerateTear bool, afterSeq uint64, fn func(uint
 			if err == io.EOF || (err == io.ErrUnexpectedEOF && tolerateTear) {
 				return nil
 			}
-			return fmt.Errorf("torn frame header at offset %d", off)
+			return corrupt("torn frame header", off)
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
@@ -467,7 +623,7 @@ func replaySegment(path string, tolerateTear bool, afterSeq uint64, fn func(uint
 			if tolerateTear {
 				return nil
 			}
-			return fmt.Errorf("bad frame length %d at offset %d", n, off)
+			return corrupt(fmt.Sprintf("bad frame length %d", n), off)
 		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
@@ -477,13 +633,13 @@ func replaySegment(path string, tolerateTear bool, afterSeq uint64, fn func(uint
 			if tolerateTear {
 				return nil
 			}
-			return fmt.Errorf("torn frame payload at offset %d", off)
+			return corrupt("torn frame payload", off)
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
 			if tolerateTear {
 				return nil
 			}
-			return fmt.Errorf("crc mismatch at offset %d", off)
+			return corrupt("crc mismatch", off)
 		}
 		off += int64(frameHeader) + int64(n)
 		seq := binary.LittleEndian.Uint64(payload[:seqBytes])
