@@ -37,10 +37,12 @@ type FollowerConfig struct {
 	// either the record takes effect or it does not).
 	Apply func(seq uint64, record []byte) error
 	// Bootstrap re-bootstraps from the primary's snapshot when the stream
-	// answers 410 (cursor below horizon). It returns the new cursor. Nil
+	// answers 410 (cursor below horizon). It returns the new cursor. The
+	// context is the fetch loop's run context: implementations must derive
+	// their deadlines from it so Stop cancels an in-flight bootstrap. Nil
 	// leaves the follower retrying (and therefore stale) — the hosting
 	// server decides whether live re-bootstrap is safe.
-	Bootstrap func() (uint64, error)
+	Bootstrap func(ctx context.Context) (uint64, error)
 	// HeartbeatTimeout bounds the silence on an open stream before it is
 	// declared stalled; 0 means DefaultHeartbeatTimeout.
 	HeartbeatTimeout time.Duration
@@ -200,7 +202,7 @@ func (f *Follower) run(ctx context.Context) {
 		}
 		if errors.Is(err, errNeedSnapshot) && f.cfg.Bootstrap != nil {
 			f.bootstraps.Add(1)
-			cursor, berr := f.cfg.Bootstrap()
+			cursor, berr := f.cfg.Bootstrap(ctx)
 			if berr == nil {
 				f.applied.Store(cursor)
 				f.advancePrimarySynced(cursor)

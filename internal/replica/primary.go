@@ -184,8 +184,14 @@ func (p *Primary) ServeStream(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if errors.Is(werr, context.DeadlineExceeded) && ctx.Err() == nil {
-			// Idle: heartbeat with the current durable position.
-			if err := p.ship(w, synced, nil); err != nil {
+			// Idle: heartbeat with the durable position re-read now — the value
+			// captured before WaitSynced can be a whole interval stale, which
+			// would inflate follower staleness accounting on a quiet primary.
+			hb := p.Log.SyncedSeq()
+			if hb > cursor {
+				continue // frames landed during the wait: ship them instead
+			}
+			if err := p.ship(w, hb, nil); err != nil {
 				return
 			}
 			fl.Flush()

@@ -372,7 +372,7 @@ func TestFollowerBootstrapsOn410(t *testing.T) {
 		Primary: srv.URL,
 		Term:    func() uint64 { return 0 },
 		Apply:   rec.apply,
-		Bootstrap: func() (uint64, error) {
+		Bootstrap: func(context.Context) (uint64, error) {
 			once.Do(func() { close(bootstrapped) })
 			return 100, nil // snapshot covered seq 100
 		},
@@ -382,6 +382,41 @@ func TestFollowerBootstrapsOn410(t *testing.T) {
 	waitFor(t, "post-bootstrap frame", func() bool { return f.Applied() == 101 })
 	if st := f.Stats(); st.Bootstraps != 1 {
 		t.Fatalf("stats %+v, want 1 bootstrap", st)
+	}
+}
+
+// TestStopCancelsInflightBootstrap: Stop must cancel a bootstrap in
+// progress, not wait out its timeout — promotion calls Stop under the
+// server's role lock, so a blocking bootstrap would stall every replication
+// endpoint for the full bootstrap timeout.
+func TestStopCancelsInflightBootstrap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set(HeaderTerm, "1")
+		w.WriteHeader(http.StatusGone) // every stream demands a snapshot
+	}))
+	defer srv.Close()
+	entered := make(chan struct{})
+	var once sync.Once
+	f := StartFollower(fastBackoff(FollowerConfig{
+		Primary: srv.URL,
+		Term:    func() uint64 { return 0 },
+		Apply:   func(uint64, []byte) error { return nil },
+		Bootstrap: func(ctx context.Context) (uint64, error) {
+			once.Do(func() { close(entered) })
+			<-ctx.Done() // a slow snapshot fetch, bounded only by its context
+			return 0, ctx.Err()
+		},
+	}))
+	<-entered
+	done := make(chan struct{})
+	go func() {
+		f.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop blocked on an in-flight bootstrap")
 	}
 }
 

@@ -296,8 +296,16 @@ func (rs *replState) applyFrame(s *Server) func(uint64, []byte) error {
 		}
 		rs.applyMu.Lock()
 		defer rs.applyMu.Unlock()
-		if err := rs.flog.AppendSeq(seq, rec); err != nil {
-			return err
+		// A refetched frame can already sit at the tail of the local log: a
+		// transient Sync or apply failure aborts the tail after AppendSeq took
+		// the frame, and the reconnect re-ships the same sequence number.
+		// Re-appending would trip the monotonicity check on every retry and
+		// livelock the follower, so skip straight to Sync + apply. (The bytes
+		// are identical — same primary frame — so the persisted copy stands.)
+		if last := rs.flog.NextSeq() - 1; seq != last {
+			if err := rs.flog.AppendSeq(seq, rec); err != nil {
+				return err
+			}
 		}
 		if err := rs.flog.Sync(); err != nil {
 			return err
@@ -318,10 +326,13 @@ func (rs *replState) applyFrame(s *Server) func(uint64, []byte) error {
 }
 
 // rebootstrap refetches a snapshot after the primary answered 410 (our
-// cursor predates its log horizon) and swaps it in as the serving index.
-func (rs *replState) rebootstrap(s *Server) func() (uint64, error) {
-	return func() (uint64, error) {
-		ctx, cancel := context.WithTimeout(context.Background(), rs.fcfg.bootstrapTimeout())
+// cursor predates its log horizon) and swaps it in as the serving index. The
+// timeout derives from the fetch loop's context so Follower.Stop — and thus
+// promotion, which runs under roleMu — cancels an in-flight fetch instead of
+// blocking on it for up to the bootstrap timeout.
+func (rs *replState) rebootstrap(s *Server) func(context.Context) (uint64, error) {
+	return func(ctx context.Context) (uint64, error) {
+		ctx, cancel := context.WithTimeout(ctx, rs.fcfg.bootstrapTimeout())
 		defer cancel()
 		snap, err := replica.FetchSnapshot(ctx, rs.fcfg.Client, rs.fcfg.PrimaryURL, s.term.Load())
 		if err != nil {
@@ -372,6 +383,18 @@ func (rs *replState) localSnapshot(s *Server) error {
 	return rs.flog.RemoveBelow(gen)
 }
 
+// stopSnapshotLoop ends the follower snapshot loop, waiting for a mid-flight
+// snapshot to finish. Called with roleMu held (which serializes promotion and
+// Close, so the channels close exactly once); idempotent.
+func (rs *replState) stopSnapshotLoop() {
+	if rs.snapStop == nil {
+		return
+	}
+	close(rs.snapStop)
+	<-rs.snapDone
+	rs.snapStop, rs.snapDone = nil, nil
+}
+
 func (rs *replState) snapshotLoop(s *Server, every time.Duration) {
 	defer close(rs.snapDone)
 	t := time.NewTicker(every)
@@ -403,14 +426,11 @@ func (f *FollowerState) Close() error {
 	rs := s.repl
 	rs.roleMu.Lock()
 	fol, promoted := rs.follower, rs.promoted
-	rs.roleMu.Unlock()
 	if fol != nil {
 		fol.Stop()
 	}
-	if rs.snapStop != nil {
-		close(rs.snapStop)
-		<-rs.snapDone
-	}
+	rs.stopSnapshotLoop()
+	rs.roleMu.Unlock()
 	if promoted {
 		if l := s.live.Load(); l != nil {
 			return l.Close()
@@ -474,6 +494,13 @@ func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
 	}
 	fol := rs.follower
 	fol.Stop()
+	// Stop the follower-side snapshotter before the write path starts. Left
+	// running, it would race Live's snapshotter on the same WAL dir and
+	// snapshot file, and — since applyFrame no longer advances appliedSeq —
+	// label snapshots mutated by post-promotion writes with a frozen sequence
+	// number, so a later recovery would replay frames the snapshot already
+	// contains. Live owns snapshotting from here on.
+	rs.stopSnapshotLoop()
 	newTerm := max(s.term.Load(), fol.PrimaryTerm()) + 1
 	if err := replica.SaveTerm(rs.dir, newTerm); err != nil {
 		// Without a durable term the fence is void; refuse the promotion

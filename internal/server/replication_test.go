@@ -542,6 +542,121 @@ func TestReplicationFaultHammer(t *testing.T) {
 	}
 }
 
+// TestFollowerApplyRetrySurvivesPersistedFrame: a transient failure between
+// the local WAL append and the index apply leaves the frame persisted but
+// unapplied, and the reconnect refetches the same sequence number. The retry
+// must apply the frame (exactly once), not livelock forever on the WAL's
+// monotonicity check.
+func TestFollowerApplyRetrySurvivesPersistedFrame(t *testing.T) {
+	dir := t.TempDir()
+	_, _, pts := replPrimaryServer(t, filepath.Join(dir, "primary"), ReplicationConfig{
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	fs, _, _ := replFollowerServer(t, FollowerConfig{
+		Dir:        filepath.Join(dir, "replica"),
+		PrimaryURL: pts.URL,
+	})
+	rs := fs.repl
+	rec, err := core.EncodeMutations(replSteps[0].muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aborted first attempt: frame 1 persisted to the local WAL, but
+	// appliedSeq never advanced.
+	if err := rs.flog.AppendSeq(1, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.flog.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := followerApplied(fs); got != 0 {
+		t.Fatalf("precondition: appliedSeq %d, want 0", got)
+	}
+	// The refetched frame arrives again; before the idempotent-append fix this
+	// failed with "wal: non-monotone sequence" on every retry.
+	if err := rs.applyFrame(fs)(1, rec); err != nil {
+		t.Fatalf("retrying a persisted frame: %v", err)
+	}
+	if got := followerApplied(fs); got != 1 {
+		t.Fatalf("appliedSeq %d after retry, want 1", got)
+	}
+	got := queryProb(t, fs, boolQ)
+	exp := scratchProb(t, replSteps[0].muts, boolQ)
+	if math.Abs(got-exp) > 1e-12 {
+		t.Fatalf("retried follower answer %v, from-scratch %v (double apply?)", got, exp)
+	}
+}
+
+// TestPromoteStopsFollowerSnapshotter: promotion hands snapshotting to the
+// write path. The follower-side snapshot loop must stop — left running it
+// would label post-promotion snapshots with the frozen appliedSeq and race
+// the Live snapshotter on the same WAL dir.
+func TestPromoteStopsFollowerSnapshotter(t *testing.T) {
+	dir := t.TempDir()
+	ps, _, pts := replPrimaryServer(t, filepath.Join(dir, "primary"), ReplicationConfig{
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	fdir := filepath.Join(dir, "replica")
+	fs, _, _ := replFollowerServer(t, FollowerConfig{
+		Dir:              fdir,
+		PrimaryURL:       pts.URL,
+		SnapshotInterval: 20 * time.Millisecond,
+	})
+	if rec, _ := do(t, ps, "POST", "/update", replSteps[0].body); rec.Code != http.StatusOK {
+		t.Fatalf("update: %d", rec.Code)
+	}
+	waitReplication(t, "catch-up", func() bool { return followerApplied(fs) == 1 })
+	// Let the follower snapshotter run at least once while it legitimately owns
+	// the snapshot file.
+	time.Sleep(60 * time.Millisecond)
+
+	pts.CloseClientConnections()
+	pts.Close()
+	if rec, _ := do(t, fs, "POST", "/replication/promote", ""); rec.Code != http.StatusOK {
+		t.Fatalf("promote: %d", rec.Code)
+	}
+	rs := fs.repl
+	rs.roleMu.Lock()
+	stopped := rs.snapStop == nil && rs.snapDone == nil
+	rs.roleMu.Unlock()
+	if !stopped {
+		t.Fatal("follower snapshot loop still wired after promotion")
+	}
+	// Post-promotion writes, a Live-owned snapshot, then crash-recovery: the
+	// snapshot's covered sequence must agree with its contents.
+	var applied []core.Mutation
+	applied = append(applied, replSteps[0].muts...)
+	for _, step := range replSteps[1:] {
+		if rec, _ := do(t, fs, "POST", "/update", step.body); rec.Code != http.StatusOK {
+			t.Fatalf("post-promote update: %d", rec.Code)
+		}
+		applied = append(applied, step.muts...)
+	}
+	l := fs.live.Load()
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, err := mvindex.LoadFileSeq(filepath.Join(fdir, "index.snap")); err != nil || seq != 4 {
+		t.Fatalf("post-promotion snapshot covers seq %d, %v; want 4", seq, err)
+	}
+	if err := fs.repl.flog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix, l2, err := OpenLive(LiveConfig{WALDir: fdir, SnapshotPath: filepath.Join(fdir, "index.snap")},
+		func() (*mvindex.Index, error) { return nil, fmt.Errorf("recovery must come from the snapshot") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(ix)
+	s2.EnableLive(l2)
+	t.Cleanup(func() { l2.Close() })
+	got := queryProb(t, s2, boolQ)
+	exp := scratchProb(t, applied, boolQ)
+	if math.Abs(got-exp) > 1e-12 {
+		t.Fatalf("recovered promoted node answer %v, from-scratch %v", got, exp)
+	}
+}
+
 // scratchProbAnyOrder rebuilds from mutations whose relative order across
 // writers is unknown but irrelevant (disjoint inserts commute).
 func scratchProbAnyOrder(t *testing.T, muts []core.Mutation, query string) float64 {
