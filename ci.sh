@@ -39,6 +39,13 @@ go test -race -run 'TestReplayCorruptMidSegment|FuzzReplayCorrupt|TestFollowerGa
 # (it asserts sequential/parallel result identity on every run).
 go test -run=NONE -bench=BenchmarkParallelCompile -benchtime=1x -timeout 5m .
 
+# Bench regression gate: re-measure the sequential compile and query legs at
+# the committed baseline's largest domain and fail on a >25% slowdown vs
+# BENCH_parallel.json (with a small absolute floor so micro-scale scheduler
+# jitter does not flap the gate). Skipped under plain `go test`; the env var
+# opts in here.
+MVDB_BENCH_GATE=1 go test -v -run TestBenchRegressionGate -timeout 5m ./internal/bench/
+
 # All four binaries must build.
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT

@@ -269,6 +269,62 @@ func TestCacheExperiment(t *testing.T) {
 	}
 }
 
+// TestReorderExperiment runs the reorder experiment on a small sweep and
+// checks the correctness column (naive and sifted answers identical to the
+// tuned Π leg), that sifting never grew the naive index, and the JSON
+// report round-trip. Timing columns are load-sensitive and not asserted.
+func TestReorderExperiment(t *testing.T) {
+	opts := small()
+	opts.Domains = []int{300}
+	tab, err := ReorderSifting(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // view subsets 1, 2, 3, 123
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[len(r)-1] != "true" {
+			t.Errorf("answers diverged across legs: %v", r)
+		}
+	}
+	for i := range tab.Series["nodes-naive"] {
+		if tab.Series["nodes-sifted"][i] > tab.Series["nodes-naive"][i] {
+			t.Errorf("sifting grew the index: %v -> %v",
+				tab.Series["nodes-naive"][i], tab.Series["nodes-sifted"][i])
+		}
+	}
+	var buf strings.Builder
+	if err := WriteReorderJSON(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Repeats int `json:"repeats"`
+		Rows    []struct {
+			Domain      int     `json:"domain"`
+			Views       string  `json:"views"`
+			NodesNaive  int     `json:"nodes_naive"`
+			NodesPi     int     `json:"nodes_pi"`
+			NodesSifted int     `json:"nodes_sifted"`
+			Reduction   float64 `json:"reduction"`
+			Same        bool    `json:"same"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v", err)
+	}
+	if rep.Repeats != reorderRepeats || len(rep.Rows) != 4 ||
+		rep.Rows[0].Domain != 300 || rep.Rows[0].Views != "1" ||
+		rep.Rows[0].NodesNaive <= 0 || rep.Rows[0].NodesPi <= 0 ||
+		rep.Rows[0].NodesSifted <= 0 || !rep.Rows[0].Same {
+		t.Errorf("report = %+v", rep)
+	}
+	// The writer refuses tables from other experiments.
+	if err := WriteReorderJSON(&strings.Builder{}, &Table{ID: "cache"}); err == nil {
+		t.Error("WriteReorderJSON accepted a non-reorder table")
+	}
+}
+
 // TestZipfWorkload: the request mix is deterministic, covers the hottest
 // query most, and stays within bounds.
 func TestZipfWorkload(t *testing.T) {
@@ -304,7 +360,7 @@ func TestZipfWorkload(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "cache", "madden"} {
+	for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "parallel", "cache", "update", "reorder", "madden"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("ByID(%q) missing", id)
 		}

@@ -468,6 +468,7 @@ func ByID(id string) (func(Options) (*Table, error), bool) {
 		"parallel":     ParallelCompileQuery,
 		"cache":        CacheServing,
 		"update":       UpdateMaintenance,
+		"reorder":      ReorderSifting,
 		"madden":       Madden,
 		"ablate-entry": AblationEntryShortcut,
 		"methods":      MethodsCompare,

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mvdb/internal/dblp"
+	"mvdb/internal/mvindex"
+	"mvdb/internal/obdd"
+)
+
+// The regression gate re-measures the sequential compile and query legs of
+// the parallel experiment at the committed baseline's largest domain and
+// fails when either is more than gateMaxSlowdown times the committed number.
+// gateSlack is an absolute floor on top of the ratio: the query leg runs in
+// well under a millisecond, where 25% is pure scheduler jitter, so a run only
+// fails when it is both 25% and gateSlack slower than the baseline.
+const (
+	gateMaxSlowdown = 1.25
+	gateSlack       = 25 * time.Millisecond
+	gateRepeats     = 5
+)
+
+// CheckCompileQueryRegression is the ci.sh bench gate: it loads the committed
+// BENCH_parallel.json, re-runs the sequential compile and the student-query
+// batch at the baseline's largest domain with the identical workload, and
+// returns an error if either leg regressed past the budget. The summary is
+// returned in both cases so CI logs always show the measured numbers.
+func CheckCompileQueryRegression(baselinePath string) (string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return "", fmt.Errorf("bench gate: %w", err)
+	}
+	var rep parallelReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return "", fmt.Errorf("bench gate: parsing %s: %w", baselinePath, err)
+	}
+	if len(rep.Rows) == 0 {
+		return "", fmt.Errorf("bench gate: %s holds no rows", baselinePath)
+	}
+	base := rep.Rows[0]
+	for _, r := range rep.Rows[1:] {
+		if r.Domain > base.Domain {
+			base = r
+		}
+	}
+
+	d, _, tr, err := pipeline(base.Domain, Defaults().Seed, "2")
+	if err != nil {
+		return "", err
+	}
+	// Untimed warmup, mirroring ParallelCompileQuery: first-compile one-off
+	// costs (heap growth, pool fills) are not what the gate polices.
+	if _, _, _, err := tr.CompileW(obdd.CompileOptions{Parallelism: 1}); err != nil {
+		return "", err
+	}
+	var compile time.Duration
+	for rep := 0; rep < gateRepeats; rep++ {
+		runtime.GC()
+		t0 := time.Now()
+		if _, _, _, err := tr.CompileW(obdd.CompileOptions{Parallelism: 1}); err != nil {
+			return "", err
+		}
+		if el := time.Since(t0); rep == 0 || el < compile {
+			compile = el
+		}
+	}
+
+	ix, err := buildIndex(tr)
+	if err != nil {
+		return "", err
+	}
+	students := d.Students
+	if n := Defaults().Queries; len(students) > n {
+		students = students[:n]
+	}
+	var queries time.Duration
+	for rep := 0; rep < gateRepeats; rep++ {
+		runtime.GC()
+		t0 := time.Now()
+		for _, s := range students {
+			if _, err := ix.Query(dblp.QueryAdvisorOfStudent(s), mvindex.IntersectOptions{CacheConscious: true, Parallelism: 1}); err != nil {
+				return "", err
+			}
+		}
+		if el := time.Since(t0); rep == 0 || el < queries {
+			queries = el
+		}
+	}
+
+	baseCompile := time.Duration(base.SeqCompileSec * float64(time.Second))
+	baseQueries := time.Duration(base.SeqQueriesSec * float64(time.Second))
+	summary := fmt.Sprintf(
+		"bench gate @ domain %d: compile %v (baseline %v), queries %v (baseline %v), budget %.0f%%+%v",
+		base.Domain, compile.Round(time.Microsecond), baseCompile.Round(time.Microsecond),
+		queries.Round(time.Microsecond), baseQueries.Round(time.Microsecond),
+		100*(gateMaxSlowdown-1), gateSlack)
+	if over(compile, baseCompile) {
+		return summary, fmt.Errorf("bench gate: sequential compile regressed: %v vs baseline %v", compile, baseCompile)
+	}
+	if over(queries, baseQueries) {
+		return summary, fmt.Errorf("bench gate: query batch regressed: %v vs baseline %v", queries, baseQueries)
+	}
+	return summary, nil
+}
+
+// over reports whether a fresh measurement blows the regression budget:
+// beyond the ratio AND beyond the absolute slack.
+func over(fresh, base time.Duration) bool {
+	limit := time.Duration(float64(base) * gateMaxSlowdown)
+	return fresh > limit && fresh > base+gateSlack
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchRegressionGate is the ci.sh bench gate. It needs the committed
+// baselines and a quiet machine, so it only runs when MVDB_BENCH_GATE=1 is
+// set (ci.sh sets it); under plain `go test` it is skipped.
+func TestBenchRegressionGate(t *testing.T) {
+	if os.Getenv("MVDB_BENCH_GATE") == "" {
+		t.Skip("set MVDB_BENCH_GATE=1 to run the bench regression gate (ci.sh does)")
+	}
+	summary, err := CheckCompileQueryRegression(filepath.Join("..", "..", "BENCH_parallel.json"))
+	if summary != "" {
+		t.Log(summary)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateBudget pins the gate's pass/fail rule without any timing: a run
+// fails only when it is beyond the ratio AND beyond the absolute slack.
+func TestGateBudget(t *testing.T) {
+	cases := []struct {
+		fresh, base time.Duration
+		want        bool
+	}{
+		{50 * time.Millisecond, 50 * time.Millisecond, false},   // equal
+		{60 * time.Millisecond, 50 * time.Millisecond, false},   // +20% < ratio
+		{70 * time.Millisecond, 50 * time.Millisecond, false},   // +40% but within slack
+		{700 * time.Millisecond, 500 * time.Millisecond, true},  // +40%, past slack
+		{620 * time.Millisecond, 500 * time.Millisecond, false}, // +24% < ratio
+		{2 * time.Millisecond, 500 * time.Microsecond, false},   // 4x but micro-scale jitter
+		{100 * time.Millisecond, 500 * time.Microsecond, true},  // genuinely broken fast path
+		{626 * time.Millisecond, 500 * time.Millisecond, true},  // just past ratio and slack
+	}
+	for _, c := range cases {
+		if got := over(c.fresh, c.base); got != c.want {
+			t.Errorf("over(%v, %v) = %v, want %v", c.fresh, c.base, got, c.want)
+		}
+	}
+}
+
+// TestGateBadBaseline: missing or malformed baselines are loud errors, not
+// silent passes.
+func TestGateBadBaseline(t *testing.T) {
+	if _, err := CheckCompileQueryRegression(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckCompileQueryRegression(p); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Errorf("malformed baseline: err = %v", err)
+	}
+	p2 := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(p2, []byte(`{"rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckCompileQueryRegression(p2); err == nil || !strings.Contains(err.Error(), "no rows") {
+		t.Errorf("empty baseline: err = %v", err)
+	}
+}

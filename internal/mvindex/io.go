@@ -25,6 +25,13 @@ import (
 // block record of the incremental compiler is NOT serialized — the first
 // structural batch after a restore recompiles in full and re-records.
 // Version 1 snapshots still load (query-only: no source, LastSeq 0).
+//
+// Version 3 adds the reordering provenance of a sifted index. The learned
+// variable order itself travels inside the manager snapshot (obdd.Snapshot
+// stores the order), so even v2 readers restore the right OBDD; the v3
+// fields let recovery and replica bootstrap know the order is learned —
+// they skip the sifting search and delta recompiles keep inheriting the
+// order. Version 1 and 2 snapshots still load.
 type indexSnapshot struct {
 	Magic       string
 	DB          engine.DatabaseSnapshot
@@ -37,11 +44,16 @@ type indexSnapshot struct {
 	Source    core.MVDBSnapshot
 	Opts      core.TranslateOptions
 	LastSeq   uint64
+
+	// v3 fields; zero on earlier snapshots.
+	Reordered bool
+	Reorder   ReorderInfo
 }
 
 const (
 	snapshotMagicV1 = "mvindex-v1"
-	snapshotMagic   = "mvindex-v2"
+	snapshotMagicV2 = "mvindex-v2"
+	snapshotMagic   = "mvindex-v3"
 )
 
 // Save serializes the index (including the translated database) as one gob
@@ -69,6 +81,10 @@ func (ix *Index) SaveSeq(w io.Writer, lastSeq uint64) error {
 			s.Source = ms
 		}
 	}
+	if ix.reorder != nil {
+		s.Reordered = true
+		s.Reorder = *ix.ReorderInfo()
+	}
 	if err := gob.NewEncoder(bw).Encode(s); err != nil {
 		return fmt.Errorf("mvindex: encoding index: %w", err)
 	}
@@ -91,7 +107,7 @@ func ReadSeq(r io.Reader) (*Index, uint64, error) {
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
 		return nil, 0, fmt.Errorf("mvindex: decoding index: %w", err)
 	}
-	if s.Magic != snapshotMagic && s.Magic != snapshotMagicV1 {
+	if s.Magic != snapshotMagic && s.Magic != snapshotMagicV2 && s.Magic != snapshotMagicV1 {
 		return nil, 0, fmt.Errorf("mvindex: bad snapshot magic %q", s.Magic)
 	}
 	db, err := engine.FromSnapshot(s.DB)
@@ -122,6 +138,16 @@ func ReadSeq(r io.Reader) (*Index, uint64, error) {
 	ix, err := Build(tr)
 	if err != nil {
 		return nil, 0, err
+	}
+	if s.Reordered {
+		// The learned order was restored with the manager; mark the index so
+		// no sifting search re-runs and delta recompiles keep inheriting it.
+		ri := s.Reorder
+		ri.Provenance = "snapshot"
+		if ri.BlockProvenance == nil {
+			ri.BlockProvenance = map[string]int{}
+		}
+		ix.reorder = &ri
 	}
 	return ix, s.LastSeq, nil
 }

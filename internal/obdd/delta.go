@@ -67,7 +67,11 @@ func CompileRecorded(db *engine.Database, u ucq.UCQ, pi Perm, opts CompileOption
 	if err := pi.Validate(db); err != nil {
 		return nil, False, nil, CompileStats{}, err
 	}
-	m := NewManager(TupleOrder(db, pi))
+	order, oerr := compileOrder(db, pi, opts)
+	if oerr != nil {
+		return nil, False, nil, CompileStats{}, oerr
+	}
+	m := NewManager(order)
 	c, disarm := newArmedCompiler(m, db, opts)
 	defer disarm()
 	var f NodeID
@@ -98,7 +102,11 @@ func CompileDelta(db *engine.Database, u ucq.UCQ, pi Perm, opts CompileOptions,
 	if err := pi.Validate(db); err != nil {
 		return nil, False, nil, DeltaStats{}, CompileStats{}, err
 	}
-	m := NewManager(TupleOrder(db, pi))
+	order, oerr := compileOrder(db, pi, opts)
+	if oerr != nil {
+		return nil, False, nil, DeltaStats{}, CompileStats{}, oerr
+	}
+	m := NewManager(order)
 	c, disarm := newArmedCompiler(m, db, opts)
 	defer disarm()
 	var f NodeID

@@ -457,6 +457,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	logP, sign := s.ix.LogProbNotW()
+	cs := s.ix.CacheStats()
+	occupied, slots := s.ix.Manager().UniqueTableStats()
 	out := map[string]any{
 		"index_nodes":    s.ix.Size(),
 		"index_blocks":   s.ix.Blocks(),
@@ -470,10 +472,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"manager_nodes":  s.ix.Manager().NumNodes(),
 		"pruned_indep":   tr.PrunedIndependent,
 		"has_constraint": tr.HasConstraints(),
-		"cache":          s.ix.CacheStats(),
-		"uptime_sec":     time.Since(s.start).Seconds(),
-		"role":           role(s.role.Load()).String(),
-		"term":           s.term.Load(),
+		"cache":          cs,
+		// Derived ratios, so dashboards don't have to divide raw counters:
+		// apply-cache hit rates (the frozen shared manager's and the
+		// per-query scratch managers'), the cross-query answer cache's hit
+		// rate, and the unique table's load factor (occupied buckets /
+		// slots).
+		"apply_cache_hit_rate":  hitRate(cs.SharedApplyHits, cs.SharedApplyMisses),
+		"query_apply_hit_rate":  hitRate(cs.QueryApplyHits, cs.QueryApplyMisses),
+		"answer_cache_hit_rate": hitRate(cs.Answers.Hits, cs.Answers.Misses),
+		"unique_table_load":     loadFactor(occupied, slots),
+		"uptime_sec":            time.Since(s.start).Seconds(),
+		"role":                  role(s.role.Load()).String(),
+		"term":                  s.term.Load(),
+	}
+	if ri := s.ix.ReorderInfo(); ri != nil {
+		out["reorder"] = ri
 	}
 	if l := s.live.Load(); l != nil {
 		out["live"] = l.stats()
@@ -482,6 +496,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		out["replication"] = s.repl.stats(s)
 	}
 	s.writeJSON(w, out)
+}
+
+// hitRate returns hits/(hits+misses), or 0 before any lookup.
+func hitRate(hits, misses uint64) float64 {
+	if total := hits + misses; total > 0 {
+		return float64(hits) / float64(total)
+	}
+	return 0
+}
+
+// loadFactor returns occupied/slots, or 0 for an empty table.
+func loadFactor(occupied, slots int) float64 {
+	if slots > 0 {
+		return float64(occupied) / float64(slots)
+	}
+	return 0
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"mvdb/internal/core"
 	"mvdb/internal/engine"
 	"mvdb/internal/mvindex"
+	"mvdb/internal/obdd"
 	"mvdb/internal/qcache"
 	"mvdb/internal/ucq"
 )
@@ -198,6 +199,80 @@ func TestStatsAndHealth(t *testing.T) {
 	rec, _ = do(t, s, "GET", "/healthz", "")
 	if rec.Code != http.StatusOK {
 		t.Errorf("healthz = %d", rec.Code)
+	}
+}
+
+// TestStatsDerivedRatios pins the derived-ratio fields of /stats: the
+// apply-cache hit rate and the unique-table load factor must be present and
+// in [0, 1] (load strictly positive — the manager always holds nodes), and a
+// sifted index must surface its reorder provenance.
+func TestStatsDerivedRatios(t *testing.T) {
+	db := engine.NewDatabase()
+	db.MustCreateRelation("Adv", false, "s", "a")
+	for s := int64(1); s <= 8; s++ {
+		db.MustInsert("Adv", 2.0, engine.Int(s), engine.Int(10+s))
+		db.MustInsert("Adv", 1.5, engine.Int(s), engine.Int(20+s))
+	}
+	m := core.New(db)
+	v, err := core.ParseView("V(s) :- Adv(s,a)", core.ConstWeight(2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Translate(core.TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reorder = obdd.ReorderOptions{Mode: obdd.ReorderConverge}
+	ix, err := mvindex.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ix)
+
+	// Run a query twice so the shared apply cache sees traffic.
+	for i := 0; i < 2; i++ {
+		if rec, _ := do(t, s, "POST", "/query", `{"query": "Q(a) :- Adv(1,a)"}`); rec.Code != http.StatusOK {
+			t.Fatalf("query %d: code = %d", i, rec.Code)
+		}
+	}
+	rec, out := do(t, s, "GET", "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats: %d", rec.Code)
+	}
+	for _, field := range []string{"apply_cache_hit_rate", "query_apply_hit_rate", "answer_cache_hit_rate", "unique_table_load"} {
+		v, ok := out[field].(float64)
+		if !ok {
+			t.Fatalf("/stats missing %s: %v", field, out)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("%s = %v out of [0,1]", field, v)
+		}
+	}
+	if out["unique_table_load"].(float64) <= 0 {
+		t.Fatalf("unique_table_load = %v, want > 0", out["unique_table_load"])
+	}
+	ri, ok := out["reorder"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing reorder block on a sifted index: %v", out)
+	}
+	if ri["mode"] != "converge" || ri["provenance"] != "sifted" {
+		t.Fatalf("reorder block = %v", ri)
+	}
+	if ri["nodes_before"].(float64) < ri["nodes_after"].(float64) {
+		t.Fatalf("reorder grew the index: %v", ri)
+	}
+	if _, ok := ri["block_provenance"].(map[string]any); !ok {
+		t.Fatalf("reorder block lacks block_provenance: %v", ri)
+	}
+
+	// An unsifted index must NOT have the reorder block.
+	s2, _ := testServer(t)
+	_, out2 := do(t, s2, "GET", "/stats", "")
+	if _, present := out2["reorder"]; present {
+		t.Fatalf("unsifted index reports reorder: %v", out2["reorder"])
 	}
 }
 

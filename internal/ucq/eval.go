@@ -50,13 +50,12 @@ func EvalBoolean(db *engine.Database, u UCQ) (lineage.DNF, error) {
 
 // accumulator groups derivations by head tuple and deduplicates terms.
 type accumulator struct {
-	byHead map[string]*answerAcc
-	order  []string
+	byHead  map[string]*answerAcc
+	order   []string
 	boolA   *answerAcc // fast path for Boolean queries (empty heads)
 	keyBuf  []byte     // scratch for term dedup keys, reused across add calls
 	headBuf []byte     // scratch for head keys, ditto
 }
-
 
 type answerAcc struct {
 	head  []engine.Value
